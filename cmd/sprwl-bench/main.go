@@ -1,0 +1,117 @@
+// Command sprwl-bench regenerates the paper's evaluation figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	sprwl-bench -exp fig3 -profile broadwell          # one figure
+//	sprwl-bench -exp all -profile power8 -quick       # smoke sweep
+//	sprwl-bench -exp fig3 -csv fig3.csv               # machine-readable
+//	sprwl-bench -mode real -algo SpRWL -threads 4     # library-plane point
+//
+// Simulated runs are deterministic: the same seed, flags and build produce
+// identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sprwl/internal/harness"
+	"sprwl/internal/htm"
+	"sprwl/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sprwl-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "fig3", "experiment to run: fig3|fig4|fig5|fig6|fig7|extscan|extauto|extvsgl|all")
+		profile = flag.String("profile", "broadwell", "machine profile: broadwell|power8")
+		quick   = flag.Bool("quick", false, "thin sweeps and shorten horizons (smoke run)")
+		horizon = flag.Uint64("horizon", 0, "virtual cycles per data point (0 = default)")
+		seed    = flag.Uint64("seed", 1, "workload RNG seed")
+		csvPath = flag.String("csv", "", "also write results as CSV to this file")
+		verbose = flag.Bool("v", false, "print each data point as it completes")
+
+		mode    = flag.String("mode", "sim", "sim (discrete-event figures) or real (library plane)")
+		algo    = flag.String("algo", harness.AlgoSpRWL, "real mode: algorithm ("+strings.Join(harness.AllAlgorithms(), "|")+")")
+		threads = flag.Int("threads", 2, "real mode: worker goroutines")
+		millis  = flag.Uint64("millis", 200, "real mode: wall-clock run length")
+	)
+	flag.Parse()
+
+	p, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+
+	if *mode == "real" {
+		wl := workload.HashmapConfig{Buckets: 256, Items: 16384, LookupsPerRead: 10, UpdatePercent: 10}
+		pt, err := harness.RunHashmapReal(*algo, *threads, p, wl, *millis*1_000_000, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pt)
+		return nil
+	}
+
+	opts := harness.RunOpts{Profile: p, Horizon: *horizon, Quick: *quick, Seed: *seed}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	experiments := harness.Experiments()
+	var ids []string
+	if *exp == "all" {
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	} else {
+		if _, ok := experiments[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q (want fig3..fig7 or all)", *exp)
+		}
+		ids = []string{*exp}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		csv, err = os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer csv.Close()
+	}
+
+	for _, id := range ids {
+		rep, err := experiments[id](opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		rep.Format(os.Stdout)
+		fmt.Println()
+		if csv != nil {
+			rep.CSV(csv)
+		}
+	}
+	return nil
+}
+
+func profileByName(name string) (htm.Profile, error) {
+	switch name {
+	case "broadwell":
+		return htm.Broadwell(), nil
+	case "power8":
+		return htm.Power8(), nil
+	default:
+		return htm.Profile{}, fmt.Errorf("unknown profile %q (want broadwell or power8)", name)
+	}
+}

@@ -1,0 +1,65 @@
+// Command sprwl-plot renders the benchmark harness's CSV output as ASCII
+// charts and sparklines, for a quick terminal look at a regenerated
+// figure's shape.
+//
+// Usage:
+//
+//	sprwl-bench -exp fig3 -profile broadwell -csv fig3.csv
+//	sprwl-plot -metric throughput_ops_per_mcycle fig3.csv
+//	sprwl-plot -spark fig3.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprwl/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sprwl-plot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	metric := flag.String("metric", "throughput_ops_per_mcycle", "CSV column to plot")
+	spark := flag.Bool("spark", false, "render one sparkline per series instead of bar grids")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: sprwl-plot [-metric col] [-spark] <file.csv>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	charts, err := plot.ParseCSV(f, *metric)
+	if err != nil {
+		return err
+	}
+	for _, ch := range charts {
+		if *spark {
+			fmt.Printf("%s / %s — %s\n", ch.Figure, ch.Section, ch.Metric)
+			for _, s := range ch.Series {
+				fmt.Printf("  %-14s %s  (max %.1f)\n", s.Algo, plot.Sparkline(s.Y), maxOf(s.Y))
+			}
+		} else {
+			ch.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func maxOf(ys []float64) float64 {
+	var m float64
+	for _, y := range ys {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}

@@ -1,0 +1,115 @@
+// Command tpcc runs the in-memory TPC-C port under any of the repository's
+// lock algorithms on the real concurrent runtime, reports throughput and
+// the commit/abort profile, and verifies the database's consistency
+// conditions afterwards.
+//
+// Usage:
+//
+//	tpcc -algo SpRWL -threads 4 -ops 2000
+//	tpcc -algo TLE -machine power8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"sprwl/internal/harness"
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/stats"
+	"sprwl/internal/tpcc"
+	"sprwl/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tpcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algo       = flag.String("algo", harness.AlgoSpRWL, "lock algorithm: "+strings.Join(harness.AllAlgorithms(), "|"))
+		threads    = flag.Int("threads", 4, "worker goroutines (1..64)")
+		ops        = flag.Int("ops", 2000, "transactions per worker")
+		warehouses = flag.Int("warehouses", 0, "warehouse count (0 = threads)")
+		customers  = flag.Int("customers", 96, "customers per district")
+		items      = flag.Int("items", 2048, "item count")
+		machine    = flag.String("machine", "", "capacity profile: broadwell|power8|empty for unlimited")
+		seed       = flag.Uint64("seed", 1, "input RNG seed")
+	)
+	flag.Parse()
+
+	scale := tpcc.Config{
+		Warehouses:           *warehouses,
+		CustomersPerDistrict: *customers,
+		Items:                *items,
+	}
+	if scale.Warehouses == 0 {
+		scale.Warehouses = *threads
+	}
+	scale.Validate()
+
+	var rCap, wCap int
+	switch *machine {
+	case "broadwell":
+		rCap, wCap = htm.Broadwell().EffectiveCapacity(*threads)
+	case "power8":
+		rCap, wCap = htm.Power8().EffectiveCapacity(*threads)
+	case "":
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+
+	words := workload.TPCCWords(scale) + harness.LockWords(*threads)
+	space, err := htm.NewSpace(htm.Config{
+		Threads:            *threads,
+		Words:              words,
+		ReadCapacityLines:  rCap,
+		WriteCapacityLines: wCap,
+	})
+	if err != nil {
+		return err
+	}
+	e := htm.NewRuntime(space, nil)
+	ar := memmodel.NewArena(0, space.Size())
+	col := stats.NewCollector(*threads)
+	lock, err := harness.BuildLock(*algo, e, ar, *threads, workload.NumTPCCCS, col)
+	if err != nil {
+		return err
+	}
+	db := workload.SetupTPCC(space, ar, scale, workload.PaperMix(), *seed)
+	fmt.Printf("%s under %s, %d threads, %d ops/thread\n", db.DB, lock.Name(), *threads, *ops)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for slot := 0; slot < *threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			step := db.Worker(lock.NewHandle(slot), slot, *seed, e.Now)
+			for i := 0; i < *ops; i++ {
+				step()
+			}
+		}(slot)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := col.Snapshot()
+	fmt.Printf("completed %d transactions in %v (%.0f tx/s)\n",
+		snap.TotalOps(), elapsed.Round(time.Millisecond),
+		float64(snap.TotalOps())/elapsed.Seconds())
+	fmt.Println("profile:", snap)
+
+	if err := db.DB.Check(space); err != nil {
+		return fmt.Errorf("consistency check FAILED: %w", err)
+	}
+	fmt.Println("consistency checks passed")
+	return nil
+}

@@ -1,0 +1,112 @@
+// Bank: concurrent transfers with online auditing.
+//
+// Transfer transactions (writers) move money between accounts; auditors
+// (readers) sum every balance and verify the total is conserved. The audit
+// is a long read-only critical section — the classic consistent-snapshot
+// problem read-write locks exist for. With SpRWL the audits run
+// uninstrumented and in parallel with each other, while transfers execute
+// as emulated hardware transactions that only commit when no audit is
+// mid-flight (paper §3.1).
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+
+	"sprwl"
+)
+
+const (
+	accounts  = 1024
+	initial   = 1000
+	threads   = 8
+	transfers = 5000
+	audits    = 300
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bank:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	l, err := sprwl.New(sprwl.Config{
+		Threads: threads,
+		Words:   sprwl.MinWords(threads) + (accounts+8)*8,
+		Machine: sprwl.Broadwell(),
+	})
+	if err != nil {
+		return err
+	}
+
+	base := l.Arena().AllocLines(accounts)
+	acct := func(i int) sprwl.Addr { return base + sprwl.Addr(i*8) }
+	prov := l.Provision()
+	for i := 0; i < accounts; i++ {
+		prov.Store(acct(i), initial)
+	}
+
+	var wg sync.WaitGroup
+	badAudits := make(chan uint64, threads*4)
+	for slot := 0; slot < threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.Handle(slot)
+			rng := rand.New(rand.NewPCG(uint64(slot), 123))
+			if slot%4 == 0 {
+				for a := 0; a < audits; a++ {
+					var total uint64
+					h.Read(0, func(m sprwl.Accessor) {
+						total = 0
+						for i := 0; i < accounts; i++ {
+							total += m.Load(acct(i))
+						}
+					})
+					if total != accounts*initial {
+						badAudits <- total
+						return
+					}
+				}
+			} else {
+				for tr := 0; tr < transfers; tr++ {
+					from, to := rng.IntN(accounts), rng.IntN(accounts)
+					amount := uint64(rng.IntN(50))
+					if from == to {
+						continue
+					}
+					h.Write(1, func(m sprwl.Accessor) {
+						f := m.Load(acct(from))
+						if f < amount {
+							return
+						}
+						m.Store(acct(from), f-amount)
+						m.Store(acct(to), m.Load(acct(to))+amount)
+					})
+				}
+			}
+		}(slot)
+	}
+	wg.Wait()
+	close(badAudits)
+	for total := range badAudits {
+		return fmt.Errorf("audit saw total %d, want %d — snapshot violated", total, accounts*initial)
+	}
+
+	var final uint64
+	for i := 0; i < accounts; i++ {
+		final += prov.Load(acct(i))
+	}
+	if final != accounts*initial {
+		return fmt.Errorf("final total %d, want %d", final, accounts*initial)
+	}
+	fmt.Printf("all audits consistent; money conserved (%d)\n", final)
+	fmt.Println("execution profile:", l.Stats())
+	return nil
+}

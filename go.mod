@@ -1,0 +1,3 @@
+module sprwl
+
+go 1.24

@@ -1,0 +1,106 @@
+// Package alloc provides runtime allocation of fixed-size blocks of
+// simulated memory for the workloads (hashmap nodes, TPC-C rows).
+//
+// Allocation metadata lives on the Go heap, not in simulated memory: on the
+// paper's systems malloc is likewise outside the transactional footprint.
+// The workloads are written so that Get/Put happen outside critical
+// sections (allocate before entering, recycle after leaving), which keeps
+// the allocator trivially abort-safe: an aborted section never observes or
+// leaks a block.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"sprwl/internal/memmodel"
+)
+
+// Pool hands out fixed-size, line-aligned blocks of simulated memory. It
+// keeps one free stack per thread slot (no synchronization on the fast
+// path) plus a mutex-protected shared reserve that slot stacks spill to and
+// refill from.
+type Pool struct {
+	blockWords int
+	perSlot    [][]memmodel.Addr
+
+	mu     sync.Mutex
+	shared []memmodel.Addr
+	arena  *memmodel.Arena
+}
+
+const (
+	// slotCacheMax bounds a slot's private stack; beyond it, half the
+	// stack spills to the shared reserve.
+	slotCacheMax = 64
+	// refillBatch is how many blocks a slot pulls from the shared
+	// reserve or arena at once.
+	refillBatch = 16
+)
+
+// NewPool builds a pool of blockWords-sized blocks (rounded up to whole
+// lines) carved from ar on demand, serving the given number of thread
+// slots.
+func NewPool(ar *memmodel.Arena, blockWords, slots int) *Pool {
+	if blockWords <= 0 {
+		panic("alloc: non-positive block size")
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	lines := (blockWords + memmodel.LineWords - 1) / memmodel.LineWords
+	return &Pool{
+		blockWords: lines * memmodel.LineWords,
+		perSlot:    make([][]memmodel.Addr, slots),
+		arena:      ar,
+	}
+}
+
+// BlockWords returns the (line-rounded) block size in words.
+func (p *Pool) BlockWords() int { return p.blockWords }
+
+// Get returns a block for thread slot. It panics if the arena is exhausted
+// and no recycled blocks exist, mirroring malloc failure as an unrecoverable
+// configuration error in this closed-world setup.
+func (p *Pool) Get(slot int) memmodel.Addr {
+	stack := &p.perSlot[slot]
+	if n := len(*stack); n > 0 {
+		a := (*stack)[n-1]
+		*stack = (*stack)[:n-1]
+		return a
+	}
+	p.mu.Lock()
+	for i := 0; i < refillBatch; i++ {
+		if n := len(p.shared); n > 0 {
+			*stack = append(*stack, p.shared[n-1])
+			p.shared = p.shared[:n-1]
+			continue
+		}
+		if p.arena.Remaining() >= memmodel.Addr(p.blockWords) {
+			*stack = append(*stack, p.arena.AllocWords(p.blockWords))
+			continue
+		}
+		break
+	}
+	p.mu.Unlock()
+	if n := len(*stack); n > 0 {
+		a := (*stack)[n-1]
+		*stack = (*stack)[:n-1]
+		return a
+	}
+	panic(fmt.Sprintf("alloc: pool exhausted (block %d words)", p.blockWords))
+}
+
+// Put recycles a block from thread slot. The caller must not touch the
+// block afterwards.
+func (p *Pool) Put(slot int, a memmodel.Addr) {
+	stack := &p.perSlot[slot]
+	*stack = append(*stack, a)
+	if len(*stack) > slotCacheMax {
+		spill := (*stack)[slotCacheMax/2:]
+		p.mu.Lock()
+		p.shared = append(p.shared, spill...)
+		p.mu.Unlock()
+		*stack = (*stack)[:slotCacheMax/2]
+	}
+}

@@ -1,0 +1,99 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sprwl/internal/memmodel"
+)
+
+func TestBlocksAreLineAlignedAndRounded(t *testing.T) {
+	ar := memmodel.NewArena(0, 1<<16)
+	p := NewPool(ar, 3, 1) // rounds up to one line
+	if got := p.BlockWords(); got != memmodel.LineWords {
+		t.Fatalf("BlockWords = %d, want %d", got, memmodel.LineWords)
+	}
+	a := p.Get(0)
+	if a%memmodel.LineWords != 0 {
+		t.Fatalf("block at %d not line-aligned", a)
+	}
+}
+
+func TestGetPutRecycles(t *testing.T) {
+	ar := memmodel.NewArena(0, 1<<16)
+	p := NewPool(ar, memmodel.LineWords, 2)
+	a := p.Get(0)
+	p.Put(0, a)
+	if got := p.Get(0); got != a {
+		t.Fatalf("Get after Put = %d, want recycled %d", got, a)
+	}
+}
+
+func TestCrossSlotRecycling(t *testing.T) {
+	ar := memmodel.NewArena(0, 1<<20)
+	p := NewPool(ar, memmodel.LineWords, 2)
+	// Fill slot 0's cache beyond its bound so blocks spill to the shared
+	// reserve, then drain from slot 1.
+	var blocks []memmodel.Addr
+	for i := 0; i < 200; i++ {
+		blocks = append(blocks, p.Get(0))
+	}
+	for _, b := range blocks {
+		p.Put(0, b)
+	}
+	seen := map[memmodel.Addr]bool{}
+	for i := 0; i < 200; i++ {
+		b := p.Get(1)
+		if seen[b] {
+			t.Fatalf("block %d handed out twice", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	ar := memmodel.NewArena(0, 2*memmodel.LineWords)
+	p := NewPool(ar, memmodel.LineWords, 1)
+	p.Get(0)
+	p.Get(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted pool did not panic")
+		}
+	}()
+	p.Get(0)
+}
+
+// TestQuickNoOverlap: any schedule of gets and puts yields blocks that are
+// live at most once and never overlap.
+func TestQuickNoOverlap(t *testing.T) {
+	prop := func(script []uint8) bool {
+		ar := memmodel.NewArena(0, 1<<18)
+		p := NewPool(ar, memmodel.LineWords, 4)
+		live := map[memmodel.Addr]bool{}
+		var order []memmodel.Addr
+		for _, b := range script {
+			slot := int(b) % 4
+			if b&0x80 != 0 && len(order) > 0 {
+				a := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(live, a)
+				p.Put(slot, a)
+				continue
+			}
+			a := p.Get(slot)
+			if live[a] {
+				return false // double allocation
+			}
+			if a%memmodel.LineWords != 0 {
+				return false
+			}
+			live[a] = true
+			order = append(order, a)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

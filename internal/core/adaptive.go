@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"sprwl/internal/env"
+)
+
+// Self-tuning reader tracking (the paper's §5 future-work item): Fig. 6
+// shows SNZI tracking wins by up to ~6× for long readers and loses by up to
+// ~6× for short ones, and the authors propose automatically enabling and
+// disabling it. With Options.AutoSNZI the lock measures reader durations
+// and switches the *tracking structure* at runtime.
+//
+// The mode lives in a simulated-memory word so writers can subscribe to it
+// transactionally. Because readers read the mode and then flag — and a
+// writer may check in between — switching uses a three-phase protocol:
+//
+//	FLAGS ──→ toSNZI ──→ SNZI ──→ toFLAGS ──→ FLAGS …
+//
+// During a transition phase, writers (commit check and fallback drain)
+// check BOTH structures; new readers already use the target structure; the
+// controller advances out of the transition only after the old structure
+// has drained. A reader additionally re-validates the mode after flagging
+// and re-flags if the structure it used is no longer covered — so at every
+// instant an active reader is visible to every checking writer.
+const (
+	modeFlags uint64 = iota
+	modeSNZI
+	modeToSNZI
+	modeToFlags
+)
+
+// trackTarget returns the structure new readers should use under mode m.
+func trackTarget(m uint64) uint64 {
+	if m == modeSNZI || m == modeToSNZI {
+		return modeSNZI
+	}
+	return modeFlags
+}
+
+// covered reports whether a reader flagged in structure s is visible to
+// writers under mode m.
+func covered(s, m uint64) bool {
+	return s == trackTarget(m) || m == modeToSNZI || m == modeToFlags
+}
+
+// adaptState is the controller's Go-side state (library-internal, like the
+// duration estimator).
+type adaptState struct {
+	// readerEMA is the exponential moving average of uninstrumented
+	// reader critical-section durations, as a float64 bit pattern.
+	readerEMA atomic.Uint64
+	// reads counts sampled reads, to pace controller evaluations.
+	reads atomic.Uint64
+}
+
+const (
+	// adaptEvery paces controller evaluations (sampled reads between
+	// decisions).
+	adaptEvery = 32
+	// adaptAlpha is the reader-duration EMA weight.
+	adaptAlpha = 0.25
+	// adaptHysteresis avoids mode flapping: switch back only below
+	// threshold/adaptHysteresis.
+	adaptHysteresis = 2
+)
+
+// DefaultAutoSNZIThreshold is the reader duration (cycles) above which SNZI
+// tracking is enabled. Fig. 6's crossover sits where the reader is roughly
+// an order of magnitude longer than the writer's flag-array check; 16k
+// cycles is that point under the simulator's default cost model.
+const DefaultAutoSNZIThreshold = 16_384
+
+// recordReaderDuration feeds the controller and, on the sampling thread,
+// periodically evaluates a mode switch.
+func (h *handle) recordReaderDuration(cycles uint64) {
+	l := h.l
+	for {
+		old := l.adapt.readerEMA.Load()
+		var next float64
+		if old == 0 {
+			next = float64(cycles)
+		} else {
+			prev := math.Float64frombits(old)
+			next = adaptAlpha*float64(cycles) + (1-adaptAlpha)*prev
+		}
+		if l.adapt.readerEMA.CompareAndSwap(old, math.Float64bits(next)) {
+			break
+		}
+	}
+	if h.slot != 0 {
+		return
+	}
+	if l.adapt.reads.Add(1)%adaptEvery != 0 {
+		return
+	}
+	h.maybeSwitchTracking()
+}
+
+// maybeSwitchTracking runs the controller: begin and complete a transition
+// if the measured reader duration crossed the threshold.
+func (h *handle) maybeSwitchTracking() {
+	l := h.l
+	ema := math.Float64frombits(l.adapt.readerEMA.Load())
+	mode := l.e.Load(l.trackMode)
+	switch mode {
+	case modeFlags:
+		if ema > float64(l.opts.AutoSNZIThreshold) {
+			l.e.Store(l.trackMode, modeToSNZI)
+			h.drainFlags()
+			l.e.Store(l.trackMode, modeSNZI)
+		}
+	case modeSNZI:
+		if ema < float64(l.opts.AutoSNZIThreshold)/adaptHysteresis {
+			l.e.Store(l.trackMode, modeToFlags)
+			for l.z.Query() {
+				l.e.Yield()
+			}
+			l.e.Store(l.trackMode, modeFlags)
+		}
+	}
+}
+
+// drainFlags waits until no reader is flagged in the state array.
+func (h *handle) drainFlags() {
+	l := h.l
+	for i := 0; i < l.threads; i++ {
+		for l.e.Load(l.stateAddr(i)) == stateReader {
+			l.e.Yield()
+		}
+	}
+}
+
+// trackingMode returns the current reader-tracking mode for this lock
+// configuration (static modes never read simulated memory).
+func (l *Lock) trackingMode() uint64 {
+	switch {
+	case l.opts.AutoSNZI:
+		return l.e.Load(l.trackMode)
+	case l.opts.UseSNZI:
+		return modeSNZI
+	default:
+		return modeFlags
+	}
+}
+
+// arriveIn flags the reader in structure s.
+func (h *handle) arriveIn(s uint64) {
+	if s == modeSNZI {
+		h.l.z.Arrive(h.slot)
+	} else {
+		h.l.e.Store(h.l.stateAddr(h.slot), stateReader)
+	}
+	h.flaggedIn = s
+}
+
+// departFrom retracts the reader flag from structure s.
+func (h *handle) departFrom(s uint64) {
+	if s == modeSNZI {
+		h.l.z.Depart(h.slot)
+	} else {
+		h.l.e.Store(h.l.stateAddr(h.slot), stateEmpty)
+	}
+}
+
+// checkForReadersAdaptive is the commit-time check under AutoSNZI: read the
+// mode (one stable line in the read set) and check the structure(s) it
+// covers.
+func (h *handle) checkForReadersAdaptive(tx env.TxAccessor) {
+	l := h.l
+	switch tx.Load(l.trackMode) {
+	case modeFlags:
+		h.checkFlagArray(tx)
+	case modeSNZI:
+		h.checkIndicator(tx)
+	default: // transition: readers may be in either structure
+		h.checkIndicator(tx)
+		h.checkFlagArray(tx)
+	}
+}
+
+func (h *handle) checkFlagArray(tx env.TxAccessor) {
+	l := h.l
+	for i := 0; i < l.threads; i++ {
+		if i != h.slot && tx.Load(l.stateAddr(i)) == stateReader {
+			tx.Abort(env.AbortReader)
+		}
+	}
+}
+
+func (h *handle) checkIndicator(tx env.TxAccessor) {
+	if tx.Load(h.l.z.IndicatorAddr()) != 0 {
+		tx.Abort(env.AbortReader)
+	}
+}

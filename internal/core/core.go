@@ -1,0 +1,315 @@
+// Package core implements SpRWL, the Speculative Read-Write Lock of Issa,
+// Romano and Lopes (Middleware '18) — the paper's primary contribution.
+//
+// Writers execute as best-effort hardware transactions (package htm) with a
+// single-global-lock fallback; readers execute uninstrumented, outside any
+// transaction, and are therefore immune to HTM capacity and interrupt
+// limits. Safety comes from the commit-time reader check plus HTM's strong
+// isolation (§3.1): a writer scans the per-thread state array (or the SNZI
+// indicator) inside its transaction immediately before committing and
+// self-aborts if any reader is active; a reader that flags itself after the
+// writer's check dooms the writer through strong isolation, because the
+// flag store hits the writer's transactional read set.
+//
+// On top of the base algorithm sit the two scheduling schemes of §3.2 —
+// reader synchronization (readers wait for the active writer predicted to
+// finish last, joining already-waiting readers) and writer synchronization
+// (a writer aborted by a reader delays its retry so that it is predicted to
+// finish δ cycles after the last active reader) — and the optimizations of
+// §3.4 (readers attempt HTM first, SNZI-based reader tracking, timed reader
+// waits) plus the §3.3 versioned-SGL anti-starvation scheme. Every feature
+// is individually switchable through Options, which is how the Fig. 5
+// ablation (NoSched / RWait / RSync / SpRWL) and the Fig. 6 SNZI study are
+// produced.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sprwl/internal/ema"
+	"sprwl/internal/env"
+	"sprwl/internal/locks"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/snzi"
+	"sprwl/internal/stats"
+)
+
+// Per-thread state-array values (paper Alg. 1/2).
+const (
+	stateEmpty  = 0 // ⊥
+	stateReader = 1 // #READER
+	stateWriter = 2 // #WRITER
+)
+
+// Options selects SpRWL's scheduling schemes and optimizations.
+type Options struct {
+	// ReaderSync enables the §3.2.1 reader synchronization scheme:
+	// arriving readers wait for active writers (paper Alg. 2).
+	ReaderSync bool
+
+	// JoinWaiters lets an arriving reader join a reader that is already
+	// waiting for a writer instead of picking its own writer to wait for
+	// (the RSync refinement of Alg. 2; disabling it yields the paper's
+	// RWait ablation variant).
+	JoinWaiters bool
+
+	// WriterSync enables the §3.2.2 writer synchronization scheme: a
+	// writer aborted by an active reader delays its retry to finish δ
+	// cycles after the last reader (paper Alg. 3).
+	WriterSync bool
+
+	// ReaderHTMFirst makes readers attempt HTM before falling back to
+	// the uninstrumented path (§3.4), which keeps SpRWL competitive with
+	// plain lock elision when readers fit in hardware.
+	ReaderHTMFirst bool
+
+	// UseSNZI tracks readers with a Scalable NonZero Indicator instead
+	// of the per-thread state array, making the writer's commit-time
+	// check a single-line read (§3.4, Fig. 6).
+	UseSNZI bool
+
+	// AutoSNZI enables the paper's §5 future-work self-tuning: the lock
+	// measures reader durations and switches reader tracking between
+	// the flag array (cheap readers) and SNZI (cheap writer checks) at
+	// runtime, using a transition protocol that keeps every active
+	// reader visible to writers throughout. Overrides UseSNZI.
+	AutoSNZI bool
+
+	// AutoSNZIThreshold is the reader duration (cycles) above which
+	// AutoSNZI selects SNZI tracking; 0 selects
+	// DefaultAutoSNZIThreshold.
+	AutoSNZIThreshold uint64
+
+	// TimedReaderWait makes a reader waiting for a writer sleep on the
+	// timestamp counter until the writer's predicted end instead of
+	// spinning on the writer's state entry (§3.4).
+	TimedReaderWait bool
+
+	// VersionedSGL enables the §3.3 anti-starvation scheme: the fallback
+	// lock carries a version, and a reader stops deferring to fallback
+	// writers that acquired the lock after the reader started waiting.
+	VersionedSGL bool
+
+	// MaxRetries is the hardware attempt budget for writers before the
+	// fallback path activates; capacity aborts skip the budget and fall
+	// back immediately (§4). The paper uses 10.
+	MaxRetries int
+
+	// ReaderRetries is the hardware attempt budget for readers when
+	// ReaderHTMFirst is enabled; capacity aborts fall back immediately.
+	ReaderRetries int
+}
+
+// DefaultOptions returns the full SpRWL configuration the paper evaluates
+// under the name "SpRWL": both scheduling schemes, HTM-first readers, timed
+// waits, flag-array reader tracking, and a 10-attempt budget.
+func DefaultOptions() Options {
+	return Options{
+		ReaderSync:      true,
+		JoinWaiters:     true,
+		WriterSync:      true,
+		ReaderHTMFirst:  true,
+		TimedReaderWait: true,
+		MaxRetries:      10,
+		ReaderRetries:   10,
+	}
+}
+
+// NoSchedOptions is the paper's "NoSched" ablation: the §3.1 base algorithm
+// with no scheduling at all.
+func NoSchedOptions() Options {
+	o := DefaultOptions()
+	o.ReaderSync = false
+	o.JoinWaiters = false
+	o.WriterSync = false
+	return o
+}
+
+// RWaitOptions is the paper's "RWait" ablation: readers wait for the writer
+// predicted to finish last, but do not join already-waiting readers; no
+// writer synchronization.
+func RWaitOptions() Options {
+	o := DefaultOptions()
+	o.JoinWaiters = false
+	o.WriterSync = false
+	return o
+}
+
+// RSyncOptions is the paper's "RSync" ablation: full reader
+// synchronization, no writer synchronization.
+func RSyncOptions() Options {
+	o := DefaultOptions()
+	o.WriterSync = false
+	return o
+}
+
+// SNZIOptions is the full configuration with SNZI reader tracking (the
+// "SNZI" series of Figs. 6 and 7).
+func SNZIOptions() Options {
+	o := DefaultOptions()
+	o.UseSNZI = true
+	return o
+}
+
+// AutoSNZIOptions is the §5 self-tuning configuration: reader tracking
+// switches between flags and SNZI based on measured reader durations.
+func AutoSNZIOptions() Options {
+	o := DefaultOptions()
+	o.AutoSNZI = true
+	return o
+}
+
+// Lock is a SpRWL instance. Lock state lives in simulated memory carved
+// from the arena passed to New, so the same implementation runs under the
+// real runtime and the discrete-event simulator.
+type Lock struct {
+	e       env.Env
+	opts    Options
+	threads int
+	est     *ema.Estimator
+	col     *stats.Collector
+
+	state      memmodel.Addr // per-thread word, packed 8/line
+	clockW     memmodel.Addr // writers' predicted end times
+	clockR     memmodel.Addr // readers' predicted end times
+	waitingFor memmodel.Addr // reader → writer-slot+1 it waits for
+	readerVer  memmodel.Addr // versioned-SGL: observed version+1
+
+	gl        locks.SpinMutex
+	glVer     memmodel.Addr
+	z         *snzi.SNZI
+	trackMode memmodel.Addr // adaptive reader-tracking mode word
+	adapt     adaptState
+}
+
+var _ rwlock.Lock = (*Lock)(nil)
+
+// Words returns the simulated-memory footprint of a Lock for the given
+// thread count, in words.
+func Words(threads int) int {
+	arrays := 5 * lineAlignedWords(threads)
+	glWords := 3 * memmodel.LineWords // fallback lock, its version, mode word
+	return arrays + glWords + snzi.Words(threads)
+}
+
+func lineAlignedWords(n int) int {
+	return (n + memmodel.LineWords - 1) / memmodel.LineWords * memmodel.LineWords
+}
+
+// New builds a SpRWL over e for the given thread count, carving its state
+// out of ar. numCS is the number of distinct critical-section IDs the
+// duration estimator tracks (§3.2.1); col may be nil.
+func New(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, col *stats.Collector) (*Lock, error) {
+	if threads < 1 {
+		return nil, errors.New("core: threads must be positive")
+	}
+	if threads > e.Threads() {
+		return nil, fmt.Errorf("core: %d threads exceed environment capacity %d", threads, e.Threads())
+	}
+	if opts.MaxRetries < 1 {
+		opts.MaxRetries = 1
+	}
+	if opts.ReaderRetries < 1 {
+		opts.ReaderRetries = 1
+	}
+	l := &Lock{
+		e:          e,
+		opts:       opts,
+		threads:    threads,
+		est:        ema.NewEstimator(numCS, 0),
+		col:        col,
+		state:      ar.AllocWords(threads),
+		clockW:     ar.AllocWords(threads),
+		clockR:     ar.AllocWords(threads),
+		waitingFor: ar.AllocWords(threads),
+		readerVer:  ar.AllocWords(threads),
+	}
+	if opts.AutoSNZIThreshold == 0 {
+		l.opts.AutoSNZIThreshold = DefaultAutoSNZIThreshold
+	}
+	l.gl = locks.NewSpinMutex(e, ar.AllocLines(1))
+	l.glVer = ar.AllocLines(1)
+	l.trackMode = ar.AllocLines(1)
+	l.z = snzi.New(e, ar.AllocWords(snzi.Words(threads)), threads)
+	return l, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, col *stats.Collector) *Lock {
+	l, err := New(e, ar, threads, numCS, opts, col)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Name implements rwlock.Lock.
+func (l *Lock) Name() string {
+	switch {
+	case l.opts.AutoSNZI:
+		return "SpRWL-Auto"
+	case l.opts.UseSNZI:
+		return "SpRWL-SNZI"
+	case !l.opts.ReaderSync && !l.opts.WriterSync:
+		return "SpRWL-NoSched"
+	case l.opts.ReaderSync && !l.opts.JoinWaiters && !l.opts.WriterSync:
+		return "SpRWL-RWait"
+	case l.opts.ReaderSync && !l.opts.WriterSync:
+		return "SpRWL-RSync"
+	default:
+		return "SpRWL"
+	}
+}
+
+// NewHandle implements rwlock.Lock.
+func (l *Lock) NewHandle(slot int) rwlock.Handle {
+	if slot < 0 || slot >= l.threads {
+		panic(fmt.Sprintf("core: slot %d out of range [0,%d)", slot, l.threads))
+	}
+	return &handle{l: l, slot: slot}
+}
+
+// handle is one thread's endpoint; see rwlock.Handle for the usage
+// contract.
+type handle struct {
+	l    *Lock
+	slot int
+	// flaggedIn records which tracking structure this thread's active
+	// reader flag lives in (modeFlags or modeSNZI), so the unflag always
+	// retracts from the structure that was used.
+	flaggedIn uint64
+}
+
+func (l *Lock) stateAddr(i int) memmodel.Addr      { return l.state + memmodel.Addr(i) }
+func (l *Lock) clockWAddr(i int) memmodel.Addr     { return l.clockW + memmodel.Addr(i) }
+func (l *Lock) clockRAddr(i int) memmodel.Addr     { return l.clockR + memmodel.Addr(i) }
+func (l *Lock) waitingForAddr(i int) memmodel.Addr { return l.waitingFor + memmodel.Addr(i) }
+func (l *Lock) readerVerAddr(i int) memmodel.Addr  { return l.readerVer + memmodel.Addr(i) }
+
+// sample records a critical-section duration on the designated sampling
+// thread only (§3.2.1).
+func (l *Lock) sample(slot, csID int, cycles uint64) {
+	if l.est.ShouldSample(slot) {
+		l.est.Sample(csID, cycles)
+	}
+}
+
+func (l *Lock) commit(slot int, k stats.Kind, m env.CommitMode) {
+	if l.col != nil {
+		l.col.Thread(slot).Commit(k, m)
+	}
+}
+
+func (l *Lock) abort(slot int, k stats.Kind, c env.AbortCause) {
+	if l.col != nil {
+		l.col.Thread(slot).Abort(k, c)
+	}
+}
+
+func (l *Lock) latency(slot int, k stats.Kind, cycles uint64) {
+	if l.col != nil {
+		l.col.Thread(slot).Latency(k, cycles)
+	}
+}

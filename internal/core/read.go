@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+)
+
+// Read implements rwlock.Handle: a SpRWL read-only critical section.
+//
+// With ReaderHTMFirst the body first runs as a plain elided transaction
+// (§3.4); on capacity aborts or budget exhaustion it falls back to the
+// paper's uninstrumented reader path: reader synchronization (Alg. 2), then
+// flag-and-check against the fallback lock (Alg. 1), then the body runs
+// with direct, fence-ordered accesses, untracked by any transaction.
+func (h *handle) Read(csID int, body rwlock.Body) {
+	l := h.l
+	start := l.e.Now()
+
+	if l.opts.ReaderHTMFirst && h.readTryHTM(csID, body) {
+		l.latency(h.slot, stats.Reader, l.e.Now()-start)
+		return
+	}
+
+	if l.opts.ReaderSync {
+		h.readersWait()
+	}
+	if l.opts.WriterSync {
+		// Advertise our predicted end time for Alg. 3's writer_wait,
+		// after reader synchronization and before starting (§3.2.2).
+		l.e.Store(l.clockRAddr(h.slot), l.est.EndTime(csID, l.e.Now()))
+	}
+
+	h.flagReaderAndSyncGL()
+
+	bodyStart := l.e.Now()
+	body(l.e)
+	bodyCycles := l.e.Now() - bodyStart
+
+	// Release order per Alg. 1: the critical section's loads are ordered
+	// before the flag reset (the environment's accesses are sequentially
+	// consistent, subsuming the paper's mem_fence).
+	h.unflagReader()
+	if l.opts.WriterSync {
+		l.e.Store(l.clockRAddr(h.slot), 0)
+	}
+
+	l.sample(h.slot, csID, bodyCycles)
+	if l.opts.AutoSNZI {
+		h.recordReaderDuration(bodyCycles)
+	}
+	l.commit(h.slot, stats.Reader, env.ModeUninstrumented)
+	l.latency(h.slot, stats.Reader, l.e.Now()-start)
+}
+
+// readTryHTM attempts the read-only section as a hardware transaction and
+// reports whether it committed. Capacity aborts fall back immediately; other
+// aborts burn budget (§3.4, same retry policy as writers).
+func (h *handle) readTryHTM(csID int, body rwlock.Body) bool {
+	l := h.l
+	glAddr := l.gl.Addr()
+	for attempts := 0; attempts < l.opts.ReaderRetries; {
+		if l.gl.IsLocked() {
+			// The fallback path is active; the uninstrumented path
+			// knows how to synchronize with it.
+			return false
+		}
+		bodyStart := l.e.Now()
+		cause := l.e.Attempt(h.slot, env.TxOpts{}, func(tx env.TxAccessor) {
+			if tx.Load(glAddr) != 0 {
+				tx.Abort(env.AbortExplicit)
+			}
+			body(tx)
+		})
+		if cause == env.Committed {
+			l.sample(h.slot, csID, l.e.Now()-bodyStart)
+			l.commit(h.slot, stats.Reader, env.ModeHTM)
+			return true
+		}
+		l.abort(h.slot, stats.Reader, cause)
+		if cause == env.AbortCapacity {
+			return false
+		}
+		attempts++
+	}
+	return false
+}
+
+// readersWait implements Alg. 2's Readers_Wait: wait for the active writer
+// predicted to complete last, or join a reader that is already waiting.
+func (h *handle) readersWait() {
+	l := h.l
+	wait := -1
+	var maxWait uint64
+	for i := 0; i < l.threads; i++ {
+		if l.e.Load(l.stateAddr(i)) == stateWriter {
+			if cw := l.e.Load(l.clockWAddr(i)); wait == -1 || cw > maxWait {
+				maxWait = cw
+				wait = i
+			}
+		} else if l.opts.JoinWaiters {
+			if wf := l.e.Load(l.waitingForAddr(i)); wf != 0 {
+				// Join the already-waiting reader: wait for the
+				// same writer and start together with it.
+				wait = int(wf - 1)
+				break
+			}
+		}
+	}
+	if wait == -1 {
+		return
+	}
+	l.e.Store(l.waitingForAddr(h.slot), uint64(wait+1))
+	if l.opts.TimedReaderWait {
+		// §3.4: sleep on the timestamp counter until the writer's
+		// predicted end instead of hammering its state line.
+		if t := l.e.Load(l.clockWAddr(wait)); t > l.e.Now() {
+			l.e.WaitUntil(t)
+		}
+	}
+	for l.e.Load(l.stateAddr(wait)) == stateWriter {
+		l.e.Yield()
+	}
+	l.e.Store(l.waitingForAddr(h.slot), 0)
+}
+
+// flagReaderAndSyncGL publishes the reader's presence and resolves the
+// interplay with the fallback lock (Alg. 1 lines 5–7 and 28–32): flag
+// first, then check the lock; if the lock is held, retract, wait, retry.
+// The flag-then-check order pairs with the fallback writer's lock-then-wait
+// order so one of them always sees the other.
+//
+// With VersionedSGL (§3.3) a reader that finds the lock busy registers the
+// version it observed; once the version moves past it, the reader may enter
+// even though the lock is still held, because every fallback writer with a
+// newer version gates its execution on (1) no reader registered against an
+// older version and (2) no reader flag — and the reader transitions from
+// registration to flag in that order, so it is visible to the writer in at
+// least one of the two scans at every instant.
+func (h *handle) flagReaderAndSyncGL() {
+	l := h.l
+	for {
+		// Cheap pre-wait while the fallback lock is held (the reader
+		// analogue of Alg. 1 line 34): without it, readers churn
+		// flag/unflag cycles against a held lock, which keeps the
+		// SNZI indicator flickering and can starve the fallback
+		// writer's quiescence wait. The flag-then-check below remains
+		// the safety handshake. (VersionedSGL readers must not park
+		// here — §3.3 lets them overtake newer fallback writers.)
+		if !l.opts.VersionedSGL {
+			for l.gl.IsLocked() {
+				l.e.Yield()
+			}
+		}
+		h.flagReader()
+		if !l.gl.IsLocked() {
+			return
+		}
+		h.unflagReader()
+		if !l.opts.VersionedSGL {
+			for l.gl.IsLocked() {
+				l.e.Yield()
+			}
+			continue
+		}
+		// Register against the observed version, validating that the
+		// version did not advance concurrently — a writer that bumps
+		// the version after the validation read must scan readerVer
+		// after its bump, and therefore sees the registration.
+		var observed uint64
+		for {
+			observed = l.e.Load(l.glVer)
+			l.e.Store(l.readerVerAddr(h.slot), observed+1)
+			if l.e.Load(l.glVer) == observed {
+				break
+			}
+		}
+		for l.gl.IsLocked() && l.e.Load(l.glVer) <= observed {
+			l.e.Yield()
+		}
+		if l.gl.IsLocked() {
+			// The version moved past us: the current fallback
+			// writer is gated on our registration. Flag first,
+			// then retire the registration (flagReader does both,
+			// in that order), and enter.
+			h.flagReader()
+			return
+		}
+		// Lock released: take the normal re-flag path (flagReader
+		// clears the registration).
+	}
+}
+
+func (h *handle) flagReader() {
+	l := h.l
+	for {
+		target := trackTarget(l.trackingMode())
+		h.arriveIn(target)
+		if !l.opts.AutoSNZI {
+			break
+		}
+		// Re-validate after flagging: the self-tuning controller may
+		// have completed a tracking switch between our mode read and
+		// our flag, in which case writers no longer check the
+		// structure we used.
+		if covered(target, l.e.Load(l.trackMode)) {
+			break
+		}
+		h.departFrom(target)
+	}
+	if l.opts.VersionedSGL {
+		// Retire any §3.3 wait registration only after the flag is
+		// visible, so a gated fallback writer always sees one or the
+		// other.
+		l.e.Store(l.readerVerAddr(h.slot), 0)
+	}
+}
+
+func (h *handle) unflagReader() { h.departFrom(h.flaggedIn) }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/stats"
+)
+
+// TestTimedReaderWaitUsesWriterClock: with the §3.4 timed-wait optimization
+// a deferring reader sleeps until the writer's advertised end time instead
+// of returning as soon as possible — observable as the reader entering only
+// after the advertised clock, even though the writer flag cleared earlier
+// in wall time plus spin slack.
+func TestTimedReaderWaitUsesWriterClock(t *testing.T) {
+	opts := RSyncOptions()
+	opts.ReaderHTMFirst = false
+	opts.TimedReaderWait = true
+	l, e, _, _ := testSetup(t, 3, htm.Config{}, opts)
+
+	const waitNanos = 20_000_000 // 20ms in wall-clock "cycles"
+	start := e.Now()
+	e.Store(l.clockWAddr(0), start+waitNanos)
+	e.Store(l.stateAddr(0), stateWriter)
+
+	entered := make(chan uint64, 1)
+	go func() {
+		l.NewHandle(1).Read(0, func(acc memmodel.Accessor) {})
+		entered <- e.Now()
+	}()
+
+	// Clear the writer flag almost immediately: a spinning reader would
+	// enter right away; a timed reader still sleeps on the clock.
+	time.Sleep(2 * time.Millisecond)
+	e.Store(l.stateAddr(0), stateEmpty)
+
+	select {
+	case at := <-entered:
+		if at < start+waitNanos {
+			t.Fatalf("reader entered %d cycles early despite timed wait", start+waitNanos-at)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never entered")
+	}
+}
+
+// TestWriterWaitTargetsLastReaderEnd: Alg. 3's writer_wait delays the retry
+// until approximately the last advertised reader end time minus half the
+// writer's expected duration.
+func TestWriterWaitTargetsLastReaderEnd(t *testing.T) {
+	opts := DefaultOptions()
+	l, e, _, _ := testSetup(t, 3, htm.Config{}, opts)
+	h := l.NewHandle(0).(*handle)
+
+	// Teach the estimator a 2ms writer duration for cs 0 (sampled on
+	// slot 0).
+	l.est.Sample(0, 2_000_000)
+
+	const readerRemaining = 15_000_000 // 15ms
+	now := e.Now()
+	e.Store(l.clockRAddr(1), now+readerRemaining)
+	e.Store(l.clockRAddr(2), now+readerRemaining/2) // earlier reader: ignored
+
+	before := e.Now()
+	h.writerWait(0)
+	waited := e.Now() - before
+
+	// Target = lastReaderEnd - dur + δ = lastReaderEnd - dur/2.
+	wantMin := uint64(readerRemaining - 2_000_000) // generous lower bound
+	if waited < wantMin/2 {
+		t.Fatalf("writerWait waited %d cycles, want at least ~%d", waited, wantMin)
+	}
+	if waited > readerRemaining*2 {
+		t.Fatalf("writerWait waited %d cycles, far beyond the reader horizon", waited)
+	}
+}
+
+// TestWriterWaitNoActiveReadersReturnsImmediately: with no advertised
+// reader end times the wait is a no-op.
+func TestWriterWaitNoActiveReadersReturnsImmediately(t *testing.T) {
+	l, e, _, _ := testSetup(t, 2, htm.Config{}, DefaultOptions())
+	h := l.NewHandle(0).(*handle)
+	before := e.Now()
+	h.writerWait(0)
+	if waited := e.Now() - before; waited > 5_000_000 {
+		t.Fatalf("writerWait with no readers waited %d cycles", waited)
+	}
+}
+
+// TestWriterAttemptAbortsWhenGLHeld: the SGL subscription inside the
+// writer's transaction must fire — with the lock held, hardware attempts
+// abort explicitly and the writer queues for the fallback.
+func TestWriterAttemptAbortsWhenGLHeld(t *testing.T) {
+	opts := NoSchedOptions()
+	l, e, ar, col := testSetup(t, 2, htm.Config{}, opts)
+	data := ar.AllocLines(1)
+
+	l.gl.Lock()
+	done := make(chan struct{})
+	go func() {
+		l.NewHandle(1).Write(0, func(acc memmodel.Accessor) { acc.Store(data, 1) })
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("writer completed while the fallback lock was held externally")
+	case <-time.After(15 * time.Millisecond):
+	}
+	l.gl.Unlock()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never completed after the lock was released")
+	}
+	if got := e.Load(data); got != 1 {
+		t.Fatalf("data = %d, want 1", got)
+	}
+	_ = col
+}
+
+// TestVersionedSGLWriterGatesOnRegistration: a fallback writer with
+// VersionedSGL must not start executing while a reader is registered
+// against an older lock version (§3.3's writer-side half).
+func TestVersionedSGLWriterGatesOnRegistration(t *testing.T) {
+	opts := DefaultOptions()
+	opts.VersionedSGL = true
+	l, e, ar, _ := testSetup(t, 2, htm.Config{}, opts)
+	data := ar.AllocLines(1)
+
+	// Register reader slot 1 against the current version.
+	observed := e.Load(l.glVer)
+	e.Store(l.readerVerAddr(1), observed+1)
+
+	h := l.NewHandle(0).(*handle)
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		h.lockGL() // bumps the version, then must wait for the registration
+		l.e.Store(data, 1)
+		l.gl.Unlock()
+		close(done)
+	}()
+	<-started
+	select {
+	case <-done:
+		t.Fatal("fallback writer proceeded past a registered older-version reader")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Retiring the registration releases the writer.
+	e.Store(l.readerVerAddr(1), 0)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still gated after the registration was retired")
+	}
+	if got := e.Load(data); got != 1 {
+		t.Fatalf("data = %d, want 1", got)
+	}
+}
+
+// TestReaderLatencyRecorded: latencies flow into the collector with
+// sensible magnitudes (a deliberately slow read has higher recorded
+// latency than a fast one).
+func TestReaderLatencyRecorded(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ReaderHTMFirst = false
+	l, _, ar, col := testSetup(t, 2, htm.Config{}, opts)
+	data := ar.AllocLines(1)
+	h := l.NewHandle(0)
+	h.Read(0, func(acc memmodel.Accessor) { _ = acc.Load(data) })
+	h.Read(0, func(acc memmodel.Accessor) { time.Sleep(3 * time.Millisecond) })
+	s := col.Snapshot()
+	if s.LatencyCount[stats.Reader] != 2 {
+		t.Fatalf("latency samples = %d, want 2", s.LatencyCount[stats.Reader])
+	}
+	if p99 := s.Percentile(stats.Reader, 0.99); p99 < 1_000_000 {
+		t.Fatalf("p99 reader latency = %d cycles, expected the slow read (~3ms) to dominate", p99)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+)
+
+// Write implements rwlock.Handle: a SpRWL updating critical section.
+//
+// The writer runs as a hardware transaction that subscribes to the fallback
+// lock at begin and scans for active readers immediately before committing,
+// self-aborting with the paper's "reader" cause if any is found (Alg. 1).
+// With ReaderSync the writer first advertises itself in the state array
+// along with its predicted end time, so arriving readers defer to it
+// (Alg. 2); with WriterSync a reader-caused abort delays the retry so the
+// writer is predicted to finish δ cycles after the last active reader
+// (Alg. 3, δ = half the writer's expected duration). After MaxRetries
+// attempts — immediately on a capacity abort — the writer takes the global
+// fallback lock, waits for active readers to drain, and runs pessimistically.
+func (h *handle) Write(csID int, body rwlock.Body) {
+	l := h.l
+	start := l.e.Now()
+
+	if l.opts.ReaderSync {
+		// Advertise before attempting, and keep the flag up across
+		// retries and the fallback: this is what guarantees that a
+		// writer activated before a reader cannot be aborted by it
+		// (§3.2.1 fairness).
+		l.e.Store(l.clockWAddr(h.slot), l.est.EndTime(csID, l.e.Now()))
+		l.e.Store(l.stateAddr(h.slot), stateWriter)
+	}
+
+	glAddr := l.gl.Addr()
+	attempts := 0
+	for {
+		// Alg. 1 line 34: do not even start while the fallback lock
+		// is held — the subscription inside would abort us at once.
+		for l.gl.IsLocked() {
+			l.e.Yield()
+		}
+		bodyStart := l.e.Now()
+		cause := l.e.Attempt(h.slot, env.TxOpts{}, func(tx env.TxAccessor) {
+			if tx.Load(glAddr) != 0 {
+				tx.Abort(env.AbortExplicit)
+			}
+			body(tx)
+			h.checkForReaders(tx)
+		})
+		if cause == env.Committed {
+			l.sample(h.slot, csID, l.e.Now()-bodyStart)
+			h.finishWrite(csID, start, env.ModeHTM)
+			return
+		}
+		l.abort(h.slot, stats.Writer, cause)
+		attempts++
+		if cause == env.AbortCapacity || attempts >= l.opts.MaxRetries {
+			break
+		}
+		if l.opts.WriterSync && cause == env.AbortReader {
+			h.writerWait(csID)
+		}
+	}
+
+	// Pessimistic fallback (Alg. 1 lines 43–45).
+	h.lockGL()
+	h.waitForReaders()
+	bodyStart := l.e.Now()
+	body(l.e)
+	l.sample(h.slot, csID, l.e.Now()-bodyStart)
+	l.gl.Unlock()
+	h.finishWrite(csID, start, env.ModeGL)
+}
+
+// finishWrite retires the writer flag (after the commit, per Alg. 2's
+// unlock order) and records bookkeeping.
+func (h *handle) finishWrite(csID int, start uint64, mode env.CommitMode) {
+	l := h.l
+	if l.opts.ReaderSync {
+		l.e.Store(l.stateAddr(h.slot), stateEmpty)
+	}
+	l.commit(h.slot, stats.Writer, mode)
+	l.latency(h.slot, stats.Writer, l.e.Now()-start)
+}
+
+// checkForReaders is Alg. 1's commit-time check, executed inside the
+// transaction: abort with the "reader" cause if any uninstrumented reader
+// is active. With SNZI the check is a single-word (single-line) read; with
+// the flag array it reads one word per thread (one line per eight threads),
+// which is the footprint trade-off Fig. 6 measures.
+func (h *handle) checkForReaders(tx env.TxAccessor) {
+	l := h.l
+	switch {
+	case l.opts.AutoSNZI:
+		h.checkForReadersAdaptive(tx)
+	case l.opts.UseSNZI:
+		h.checkIndicator(tx)
+	default:
+		h.checkFlagArray(tx)
+	}
+}
+
+// writerWait is Alg. 3's writer_wait: delay the retry so that the write
+// critical section is predicted to complete δ cycles after the last active
+// reader, overlapping with readers as much as possible while still
+// committing after they finish. δ defaults to half the writer's expected
+// duration (§3.2.2).
+func (h *handle) writerWait(csID int) {
+	l := h.l
+	var wait uint64
+	for i := 0; i < l.threads; i++ {
+		if i == h.slot {
+			continue
+		}
+		if cr := l.e.Load(l.clockRAddr(i)); cr > wait {
+			wait = cr
+		}
+	}
+	if wait == 0 {
+		return
+	}
+	dur, ok := l.est.Duration(csID)
+	if ok {
+		delta := dur / 2
+		wait -= dur - delta // i.e. wait - dur + δ
+	}
+	if wait > l.e.Now() {
+		l.e.WaitUntil(wait)
+	}
+}
+
+// lockGL acquires the fallback lock and, with VersionedSGL, performs the
+// §3.3 writer-side gating: bump the version, then wait until no reader is
+// registered against an older version. The registration scan precedes
+// waitForReaders; a reader moving from registration to flag does so in the
+// opposite order, so it is visible in at least one scan at every moment.
+func (h *handle) lockGL() {
+	l := h.l
+	l.gl.Lock()
+	if !l.opts.VersionedSGL {
+		return
+	}
+	myver := l.e.Add(l.glVer, 1)
+	for i := 0; i < l.threads; i++ {
+		if i == h.slot {
+			continue
+		}
+		a := l.readerVerAddr(i)
+		for {
+			rv := l.e.Load(a)
+			if rv == 0 || rv-1 >= myver {
+				break
+			}
+			l.e.Yield()
+		}
+	}
+}
+
+// waitForReaders is Alg. 1's wait_for_readers, executed after acquiring the
+// fallback lock: wait (at most once per thread) for every active
+// uninstrumented reader to finish. New readers cannot start meanwhile —
+// they flag, observe the held lock, retract, and wait — which is what makes
+// this wait finite even under a constant reader stream (§3.3).
+func (h *handle) waitForReaders() {
+	l := h.l
+	if l.opts.AutoSNZI || l.opts.UseSNZI {
+		for l.z.Query() {
+			l.e.Yield()
+		}
+		if !l.opts.AutoSNZI {
+			return
+		}
+		// Adaptive mode: readers may be flagged in either structure.
+	} else {
+		h.drainFlags()
+		return
+	}
+	h.drainFlags()
+}
+
+var _ rwlock.Handle = (*handle)(nil)
+
+// Estimator exposes the duration estimator, for tests and diagnostics.
+func (l *Lock) Estimator() interface {
+	Duration(cs int) (uint64, bool)
+} {
+	return l.est
+}

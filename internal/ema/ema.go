@@ -1,0 +1,113 @@
+// Package ema implements the critical-section duration estimator behind
+// SpRWL's scheduling heuristics (paper §3.2.1).
+//
+// The paper samples critical-section execution times on a single thread —
+// to keep measurement overhead off the other threads — and maintains an
+// exponential moving average per distinct critical section, identified by a
+// programmer-supplied ID. estimateEndTime() is then "now + EMA(cs)".
+package ema
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultAlpha is the smoothing factor: the weight of the newest sample.
+// 1/4 reacts quickly to workload shifts while damping single-sample noise,
+// matching the paper's requirement that the average "quickly reflects
+// changes in the workload characteristics".
+const DefaultAlpha = 0.25
+
+// SamplingSlot is the thread slot that performs duration sampling; the
+// paper uses a single sampling thread to keep the fast path of all other
+// threads measurement-free.
+const SamplingSlot = 0
+
+// Estimator tracks per-critical-section duration EMAs. All methods are safe
+// for concurrent use: samples are written by the sampling thread and read by
+// everyone, with atomic publication.
+type Estimator struct {
+	alpha float64
+	// avg[cs] holds the EMA in cycles as a float64 bit pattern; a zero
+	// word means "no sample yet".
+	avg []atomic.Uint64
+}
+
+// NewEstimator builds an estimator for critical-section IDs in [0, numCS).
+// alpha <= 0 selects DefaultAlpha.
+func NewEstimator(numCS int, alpha float64) *Estimator {
+	if numCS < 1 {
+		numCS = 1
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	return &Estimator{
+		alpha: alpha,
+		avg:   make([]atomic.Uint64, numCS),
+	}
+}
+
+// valid reports whether cs is a known critical-section ID.
+func (e *Estimator) valid(cs int) bool { return cs >= 0 && cs < len(e.avg) }
+
+// Sample folds one measured duration (cycles) for critical section cs into
+// the EMA. Callers are expected to invoke it only from the sampling thread
+// (ShouldSample); calling from several threads is safe but the EMA then
+// mixes their samples.
+func (e *Estimator) Sample(cs int, cycles uint64) {
+	if !e.valid(cs) {
+		return
+	}
+	cell := &e.avg[cs]
+	for {
+		old := cell.Load()
+		var next float64
+		if old == 0 {
+			next = float64(cycles)
+		} else {
+			prev := fromBits(old)
+			next = e.alpha*float64(cycles) + (1-e.alpha)*prev
+		}
+		if next == 0 {
+			next = 1 // keep the "no sample" sentinel unambiguous
+		}
+		if cell.CompareAndSwap(old, toBits(next)) {
+			return
+		}
+	}
+}
+
+// ShouldSample reports whether the thread on the given slot is the
+// designated sampling thread.
+func (e *Estimator) ShouldSample(slot int) bool { return slot == SamplingSlot }
+
+// Duration returns the estimated duration of critical section cs in cycles,
+// and whether any sample exists yet.
+func (e *Estimator) Duration(cs int) (uint64, bool) {
+	if !e.valid(cs) {
+		return 0, false
+	}
+	b := e.avg[cs].Load()
+	if b == 0 {
+		return 0, false
+	}
+	return uint64(fromBits(b)), true
+}
+
+// EndTime implements the paper's estimateEndTime(): the expected completion
+// cycle of a critical section cs entered at cycle now. With no sample yet it
+// returns now (a zero-length estimate), which makes the scheduling schemes
+// no-ops until the sampling thread has seen the section once — exactly the
+// conservative cold-start the paper's prototype exhibits.
+func (e *Estimator) EndTime(cs int, now uint64) uint64 {
+	d, ok := e.Duration(cs)
+	if !ok {
+		return now
+	}
+	return now + d
+}
+
+func toBits(f float64) uint64 { return math.Float64bits(f) }
+
+func fromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,163 @@
+package ema
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstSampleSeedsAverage(t *testing.T) {
+	e := NewEstimator(2, 0.25)
+	if _, ok := e.Duration(0); ok {
+		t.Fatal("Duration reported a value before any sample")
+	}
+	e.Sample(0, 1000)
+	d, ok := e.Duration(0)
+	if !ok || d != 1000 {
+		t.Fatalf("Duration = %d,%v after first sample, want 1000,true", d, ok)
+	}
+}
+
+func TestExponentialSmoothing(t *testing.T) {
+	const alpha = 0.25
+	e := NewEstimator(1, alpha)
+	e.Sample(0, 1000)
+	e.Sample(0, 2000)
+	want := alpha*2000 + (1-alpha)*1000
+	d, _ := e.Duration(0)
+	if math.Abs(float64(d)-want) > 1 {
+		t.Fatalf("Duration = %d after two samples, want ~%.0f", d, want)
+	}
+}
+
+func TestSmoothingConvergesToSteadyState(t *testing.T) {
+	e := NewEstimator(1, 0.25)
+	e.Sample(0, 10_000) // outlier
+	for i := 0; i < 50; i++ {
+		e.Sample(0, 100)
+	}
+	d, _ := e.Duration(0)
+	if d > 110 {
+		t.Fatalf("Duration = %d after 50 steady samples of 100, want near 100", d)
+	}
+}
+
+func TestIndependentCriticalSections(t *testing.T) {
+	e := NewEstimator(3, 0.5)
+	e.Sample(0, 100)
+	e.Sample(2, 9000)
+	if d, _ := e.Duration(0); d != 100 {
+		t.Fatalf("cs 0 Duration = %d, want 100", d)
+	}
+	if d, _ := e.Duration(2); d != 9000 {
+		t.Fatalf("cs 2 Duration = %d, want 9000", d)
+	}
+	if _, ok := e.Duration(1); ok {
+		t.Fatal("cs 1 has a Duration without samples")
+	}
+}
+
+func TestEndTime(t *testing.T) {
+	e := NewEstimator(1, 0.5)
+	if got := e.EndTime(0, 500); got != 500 {
+		t.Fatalf("EndTime with no samples = %d, want now (500)", got)
+	}
+	e.Sample(0, 200)
+	if got := e.EndTime(0, 500); got != 700 {
+		t.Fatalf("EndTime = %d, want 700", got)
+	}
+}
+
+func TestOutOfRangeIDsAreIgnored(t *testing.T) {
+	e := NewEstimator(1, 0.5)
+	e.Sample(-1, 100)
+	e.Sample(5, 100)
+	if _, ok := e.Duration(-1); ok {
+		t.Fatal("Duration(-1) reported a value")
+	}
+	if _, ok := e.Duration(5); ok {
+		t.Fatal("Duration(5) reported a value")
+	}
+	if got := e.EndTime(5, 10); got != 10 {
+		t.Fatalf("EndTime(5) = %d, want now", got)
+	}
+}
+
+func TestShouldSample(t *testing.T) {
+	e := NewEstimator(1, 0.5)
+	if !e.ShouldSample(SamplingSlot) {
+		t.Fatal("sampling slot rejected")
+	}
+	if e.ShouldSample(SamplingSlot + 1) {
+		t.Fatal("non-sampling slot accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	// Degenerate constructor arguments must clamp, not panic.
+	e := NewEstimator(0, -3)
+	e.Sample(0, 10)
+	if _, ok := e.Duration(0); !ok {
+		t.Fatal("estimator with clamped config rejected cs 0")
+	}
+}
+
+func TestConcurrentReadersDuringSampling(t *testing.T) {
+	e := NewEstimator(1, 0.25)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d, ok := e.Duration(0); ok && (d < 90 || d > 1100) {
+					t.Errorf("Duration = %d, outside sample envelope", d)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		if i%2 == 0 {
+			e.Sample(0, 100)
+		} else {
+			e.Sample(0, 1000)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestQuickEMABounds: the EMA always stays within [min, max] of the samples
+// fed to it, for arbitrary positive sample sequences.
+func TestQuickEMABounds(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEstimator(1, 0.25)
+		lo, hi := uint64(math.MaxUint64), uint64(0)
+		for _, r := range raw {
+			s := uint64(r) + 1
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+			e.Sample(0, s)
+		}
+		d, ok := e.Duration(0)
+		return ok && d >= lo-1 && d <= hi+1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

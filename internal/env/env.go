@@ -1,0 +1,174 @@
+// Package env defines the execution environment that all synchronization
+// algorithms in this repository are written against.
+//
+// The paper evaluates its algorithms on real HTM hardware (Intel Broadwell,
+// IBM POWER8). This reproduction has no HTM hardware, so the algorithms run
+// against an Env that provides (a) strongly-isolated uninstrumented access to
+// a simulated address space, (b) best-effort hardware-transaction attempts
+// with the semantics the paper relies on, and (c) a cycle clock for the
+// paper's scheduling heuristics. Two Env implementations exist: the real
+// concurrent one (package htm) used by the library, and a deterministic
+// discrete-event-simulated one (package sim) used by the benchmark harness to
+// regenerate the paper's scaling figures on a host without 56–80 hardware
+// threads.
+package env
+
+import "sprwl/internal/memmodel"
+
+// AbortCause classifies why a hardware-transaction attempt failed, mirroring
+// the abort breakdowns in the paper's evaluation (Figures 3–7).
+type AbortCause uint32
+
+const (
+	// Committed reports a successful commit (no abort).
+	Committed AbortCause = iota
+	// AbortConflict is an eager data conflict with a concurrent
+	// transaction or with uninstrumented code (strong isolation).
+	AbortConflict
+	// AbortCapacity is a read- or write-footprint overflow.
+	AbortCapacity
+	// AbortExplicit is a self-requested abort (e.g. the fallback lock was
+	// observed taken after subscription).
+	AbortExplicit
+	// AbortReader is SpRWL's commit-time self-abort upon finding an
+	// active uninstrumented reader (the "reader" cause in the paper).
+	AbortReader
+	// AbortSpurious models capacity-unrelated environmental aborts
+	// (interrupts, context switches) that best-effort HTM cannot survive.
+	AbortSpurious
+)
+
+// String returns the abort-cause label used by the paper's plots.
+func (c AbortCause) String() string {
+	switch c {
+	case Committed:
+		return "committed"
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	case AbortReader:
+		return "reader"
+	case AbortSpurious:
+		return "spurious"
+	default:
+		return "unknown"
+	}
+}
+
+// NumAbortCauses is the number of distinct AbortCause values, for
+// fixed-size per-cause counter arrays.
+const NumAbortCauses = 6
+
+// CommitMode classifies how a critical section ultimately executed,
+// mirroring the commit breakdowns in the paper's evaluation.
+type CommitMode uint32
+
+const (
+	// ModeHTM is a critical section committed as a hardware transaction.
+	ModeHTM CommitMode = iota
+	// ModeROT is a critical section committed as a rollback-only
+	// transaction (POWER8 feature, used by the RW-LE baseline).
+	ModeROT
+	// ModeGL is a critical section executed under the single global
+	// fallback lock.
+	ModeGL
+	// ModeUninstrumented is a read-only critical section executed outside
+	// any transaction (SpRWL's and RW-LE's reader path).
+	ModeUninstrumented
+	// ModePessimistic is a critical section executed under a classic
+	// pessimistic lock (the RWLock/BRLock/... baselines).
+	ModePessimistic
+)
+
+// String returns the commit-mode label used by the paper's plots.
+func (m CommitMode) String() string {
+	switch m {
+	case ModeHTM:
+		return "HTM"
+	case ModeROT:
+		return "ROT"
+	case ModeGL:
+		return "GL"
+	case ModeUninstrumented:
+		return "Unins"
+	case ModePessimistic:
+		return "Pess"
+	default:
+		return "unknown"
+	}
+}
+
+// NumCommitModes is the number of distinct CommitMode values.
+const NumCommitModes = 5
+
+// TxAccessor is the view of the address space inside a transaction attempt.
+// Loads see the transaction's own buffered writes; stores are buffered and
+// externalized atomically at commit.
+type TxAccessor interface {
+	memmodel.Accessor
+
+	// Abort rolls the transaction back immediately with the given cause,
+	// unwinding the attempt body (it does not return).
+	Abort(cause AbortCause)
+
+	// Aborted reports, without unwinding, whether the transaction has
+	// been doomed by a conflicting access. It is the only TxAccessor
+	// method safe to call from inside a Suspend section's wait loop.
+	Aborted() bool
+
+	// Suspend executes fn outside transactional tracking while keeping
+	// the enclosing transaction alive, modelling POWER8's
+	// suspend/resume. Accesses inside fn are uninstrumented and the
+	// transaction remains abortable by conflicting accesses. Suspend
+	// returns false if the transaction was doomed while suspended, in
+	// which case the caller should stop and let the next transactional
+	// access (or Commit) unwind the attempt.
+	Suspend(fn func()) bool
+}
+
+// TxOpts configures a single transaction attempt.
+type TxOpts struct {
+	// ROT requests a rollback-only transaction: only the write set is
+	// tracked, so loads are neither conflict-checked nor capacity-bound.
+	ROT bool
+}
+
+// Env is the complete execution environment handed to a synchronization
+// algorithm. Uninstrumented accesses (Load/Store/CAS) have strong-isolation
+// semantics with respect to concurrently running transactions, exactly as on
+// the paper's hardware: an uninstrumented store to a line in a transaction's
+// read or write set aborts that transaction eagerly, and an uninstrumented
+// load of a transactionally-written line aborts the writing transaction.
+type Env interface {
+	memmodel.Accessor
+
+	// CAS atomically compares-and-swaps an uninstrumented word, with the
+	// same strong-isolation semantics as Store when it succeeds.
+	CAS(a memmodel.Addr, old, new uint64) bool
+
+	// Add atomically adds d (two's-complement for subtraction) to an
+	// uninstrumented word and returns the new value, with Store's
+	// strong-isolation semantics.
+	Add(a memmodel.Addr, d uint64) uint64
+
+	// Attempt runs body as one best-effort hardware transaction on
+	// behalf of thread slot and returns Committed or the abort cause.
+	// On abort, all buffered stores are discarded; the caller owns the
+	// retry policy.
+	Attempt(slot int, opts TxOpts, body func(tx TxAccessor)) AbortCause
+
+	// Now returns the current cycle count (the rdtsc analogue).
+	Now() uint64
+
+	// WaitUntil blocks the calling thread until Now() >= t.
+	WaitUntil(t uint64)
+
+	// Yield hints that the calling thread is spinning.
+	Yield()
+
+	// Threads returns the maximum number of thread slots.
+	Threads() int
+}

@@ -1,0 +1,94 @@
+// Package harness defines and runs the paper's experiments: one
+// specification per evaluation figure, a deterministic simulation runner
+// behind each data point, and table/CSV reporting of the same series the
+// paper plots. See DESIGN.md §4 for the experiment index.
+package harness
+
+import (
+	"fmt"
+
+	"sprwl/internal/core"
+	"sprwl/internal/env"
+	"sprwl/internal/locks"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwle"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+	"sprwl/internal/tle"
+)
+
+// Algorithm names accepted by BuildLock; these are the labels the paper's
+// plots use.
+const (
+	AlgoSpRWL        = "SpRWL"
+	AlgoSpRWLSNZI    = "SpRWL-SNZI"
+	AlgoSpRWLNoSched = "SpRWL-NoSched"
+	AlgoSpRWLRWait   = "SpRWL-RWait"
+	AlgoSpRWLRSync   = "SpRWL-RSync"
+	AlgoSpRWLVSGL    = "SpRWL-VSGL"
+	AlgoSpRWLAuto    = "SpRWL-Auto"
+	AlgoTLE          = "TLE"
+	AlgoRWLE         = "RW-LE"
+	AlgoRWL          = "RWL"
+	AlgoBRLock       = "BRLock"
+	AlgoPFRWL        = "PFRWL"
+	AlgoPRWL         = "PRWL"
+	AlgoMCSRW        = "MCS-RW"
+)
+
+// AllAlgorithms lists every lock BuildLock can construct.
+func AllAlgorithms() []string {
+	return []string{
+		AlgoSpRWL, AlgoSpRWLSNZI, AlgoSpRWLNoSched, AlgoSpRWLRWait,
+		AlgoSpRWLRSync, AlgoSpRWLVSGL, AlgoSpRWLAuto, AlgoTLE, AlgoRWLE,
+		AlgoRWL, AlgoBRLock, AlgoPFRWL, AlgoPRWL, AlgoMCSRW,
+	}
+}
+
+// LockWords returns a safe arena budget (in words) for any single lock
+// instance at the given thread count.
+func LockWords(threads int) int {
+	// SpRWL is the largest: five per-thread arrays, the fallback lock,
+	// and a SNZI tree; triple it for slack and the baselines' per-thread
+	// lines.
+	return 3*core.Words(threads) + 64*memmodel.LineWords*(threads+4)
+}
+
+// BuildLock constructs the named algorithm over e, carving lock state from
+// ar. numCS sizes the duration estimator for SpRWL variants.
+func BuildLock(name string, e env.Env, ar *memmodel.Arena, threads, numCS int, col *stats.Collector) (rwlock.Lock, error) {
+	switch name {
+	case AlgoSpRWL:
+		return core.New(e, ar, threads, numCS, core.DefaultOptions(), col)
+	case AlgoSpRWLSNZI:
+		return core.New(e, ar, threads, numCS, core.SNZIOptions(), col)
+	case AlgoSpRWLNoSched:
+		return core.New(e, ar, threads, numCS, core.NoSchedOptions(), col)
+	case AlgoSpRWLRWait:
+		return core.New(e, ar, threads, numCS, core.RWaitOptions(), col)
+	case AlgoSpRWLRSync:
+		return core.New(e, ar, threads, numCS, core.RSyncOptions(), col)
+	case AlgoSpRWLVSGL:
+		opts := core.DefaultOptions()
+		opts.VersionedSGL = true
+		return core.New(e, ar, threads, numCS, opts, col)
+	case AlgoSpRWLAuto:
+		return core.New(e, ar, threads, numCS, core.AutoSNZIOptions(), col)
+	case AlgoTLE:
+		return tle.New(e, ar, 0, col), nil
+	case AlgoRWLE:
+		return rwle.New(e, ar, threads, 0, 0, col), nil
+	case AlgoRWL:
+		return locks.NewRWL(e, ar, col), nil
+	case AlgoBRLock:
+		return locks.NewBRLock(e, ar, threads, col), nil
+	case AlgoPFRWL:
+		return locks.NewPFRWL(e, ar, col), nil
+	case AlgoPRWL:
+		return locks.NewPRWL(e, ar, threads, col), nil
+	case AlgoMCSRW:
+		return locks.NewMCSRW(e, ar, threads, col), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+
+	"sprwl/internal/htm"
+	"sprwl/internal/workload"
+)
+
+// RunOpts tunes an experiment run.
+type RunOpts struct {
+	// Profile selects the machine model; experiments that are
+	// profile-specific in the paper (Figs. 5 and 6) ignore it.
+	Profile htm.Profile
+	// Horizon overrides the per-point virtual measurement window
+	// (0 = DefaultHorizon).
+	Horizon uint64
+	// Quick thins the thread sweep and shrinks the horizon for smoke
+	// runs.
+	Quick bool
+	// Seed feeds workload RNGs; fixed seed + fixed config = identical
+	// results.
+	Seed uint64
+	// Progress, if non-nil, receives a line per completed point.
+	Progress func(string)
+}
+
+func (o *RunOpts) horizon() uint64 {
+	h := o.Horizon
+	if h == 0 {
+		h = DefaultHorizon
+	}
+	if o.Quick {
+		h /= 8
+	}
+	return h
+}
+
+func (o *RunOpts) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// threadSweep returns the paper's x-axis for the profile. The simulator
+// supports at most 64 logical threads (htm.MaxThreads), so the POWER8 sweep
+// stops at 64 rather than the paper's 80; the SMT regime (8 threads/core)
+// is already fully expressed at 64.
+func threadSweep(p htm.Profile, quick bool) []int {
+	var sweep []int
+	switch p.Name {
+	case "power8":
+		sweep = []int{1, 2, 4, 8, 16, 32, 64}
+	default:
+		sweep = []int{1, 2, 4, 8, 14, 28, 42, 56}
+	}
+	if quick {
+		thinned := make([]int, 0, (len(sweep)+1)/2)
+		for i := 0; i < len(sweep); i += 2 {
+			thinned = append(thinned, sweep[i])
+		}
+		return thinned
+	}
+	return sweep
+}
+
+// hashmapFor returns the §4.1 population for the profile, sized so that the
+// paper's regimes hold: a 10-lookup read section overflows the effective
+// read capacity while a 1-lookup section (and update sections) fit.
+func hashmapFor(p htm.Profile) workload.HashmapConfig {
+	switch p.Name {
+	case "power8":
+		// Chains of ~128 lines: a 10-lookup read section touches ~640
+		// distinct lines on average (half-chain hits) — far beyond
+		// the 128-line capacity, with the doomed HTM-first attempt
+		// wasting only ~capacity/footprint of the work; a 1-lookup
+		// section (~64 lines) fits until SMT sharing shrinks the
+		// capacity at high thread counts, as on the paper's machine.
+		return workload.HashmapConfig{Buckets: 512, Items: 65536}
+	default:
+		// Chains of ~256 lines against the 384-line effective
+		// capacity: update sections (half-chain traversals, ≤256
+		// lines) always fit, 1-lookup read sections fit, 10-lookup
+		// sections (~1280 lines) overflow — the paper's regime.
+		return workload.HashmapConfig{Buckets: 512, Items: 131072}
+	}
+}
+
+// figAlgos returns the baseline set the paper plots on each machine:
+// RW-LE exists only on POWER8.
+func figAlgos(p htm.Profile) []string {
+	algos := []string{AlgoTLE, AlgoRWL, AlgoBRLock, AlgoSpRWL}
+	if p.Name == "power8" {
+		algos = []string{AlgoTLE, AlgoRWLE, AlgoRWL, AlgoBRLock, AlgoSpRWL}
+	}
+	return algos
+}
+
+// runHashmapFigure produces the Fig. 3/4 layout: one section per update
+// mix, each sweeping threads × algorithms.
+func runHashmapFigure(id, title string, lookups int, opts RunOpts) (*Report, error) {
+	p := opts.Profile
+	if p.Name == "" {
+		p = htm.Broadwell()
+	}
+	rep := &Report{ID: id, Title: fmt.Sprintf("%s (%s)", title, p.Name)}
+	if p.Name == "power8" {
+		rep.Notes = append(rep.Notes, "thread sweep capped at 64 (simulator slot limit); paper goes to 80")
+	}
+	wl := hashmapFor(p)
+	wl.LookupsPerRead = lookups
+	for _, mix := range []int{10, 50, 90} {
+		sec := Section{Title: fmt.Sprintf("%d%% update", mix)}
+		for _, algo := range figAlgos(p) {
+			for _, n := range threadSweep(p, opts.Quick) {
+				cfg := HashmapPointConfig{
+					Algo: algo, Threads: n, Profile: p,
+					Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
+				}
+				cfg.Workload.UpdatePercent = mix
+				pt, err := RunHashmapPoint(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s@%d: %w", id, algo, n, err)
+				}
+				opts.progress("%s %s: %s", id, sec.Title, pt)
+				sec.Points = append(sec.Points, pt)
+			}
+		}
+		rep.Sections = append(rep.Sections, sec)
+	}
+	return rep, nil
+}
+
+// Fig3 regenerates Figure 3: hashmap with 10-lookup read sections (readers
+// overflow HTM capacity), 10/50/90% updates, thread sweep, all baselines.
+func Fig3(opts RunOpts) (*Report, error) {
+	return runHashmapFigure("fig3", "Hashmap, readers = 10 lookups (exceed HTM capacity)", 10, opts)
+}
+
+// Fig4 regenerates Figure 4: same as Fig. 3 but with 1-lookup read sections
+// that fit in HTM — TLE's favourable regime.
+func Fig4(opts RunOpts) (*Report, error) {
+	return runHashmapFigure("fig4", "Hashmap, readers = 1 lookup (fit in HTM)", 1, opts)
+}
+
+// Fig5 regenerates Figure 5: the scheduling ablation (NoSched / RWait /
+// RSync / SpRWL vs TLE) on Broadwell, 10% updates, long readers.
+func Fig5(opts RunOpts) (*Report, error) {
+	p := htm.Broadwell()
+	wl := hashmapFor(p)
+	wl.LookupsPerRead = 10
+	wl.UpdatePercent = 10
+	rep := &Report{ID: "fig5", Title: "Scheduling ablation (broadwell, 10% update, long readers)"}
+	sec := Section{Title: "10% update"}
+	for _, algo := range []string{AlgoTLE, AlgoSpRWLNoSched, AlgoSpRWLRWait, AlgoSpRWLRSync, AlgoSpRWL} {
+		for _, n := range threadSweep(p, opts.Quick) {
+			pt, err := RunHashmapPoint(HashmapPointConfig{
+				Algo: algo, Threads: n, Profile: p,
+				Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s@%d: %w", algo, n, err)
+			}
+			opts.progress("fig5: %s", pt)
+			sec.Points = append(sec.Points, pt)
+		}
+	}
+	rep.Sections = append(rep.Sections, sec)
+	return rep, nil
+}
+
+// Fig6 regenerates Figure 6: flag-array vs SNZI reader tracking on POWER8
+// at the maximum thread count, 50% updates, sweeping the reader size (the
+// paper's reader/writer size ratio axis).
+func Fig6(opts RunOpts) (*Report, error) {
+	p := htm.Power8()
+	threads := 64 // paper uses 80; simulator slot limit is 64
+	if opts.Quick {
+		threads = 32
+	}
+	rep := &Report{
+		ID:    "fig6",
+		Title: fmt.Sprintf("Reader tracking: flags vs SNZI (power8, 50%% update, %d threads)", threads),
+		Notes: []string{"80 paper threads capped at 64 (simulator slot limit)"},
+	}
+	lookupSweep := []int{1, 4, 16, 64, 128}
+	if opts.Quick {
+		lookupSweep = []int{1, 16, 128}
+	}
+	for _, lookups := range lookupSweep {
+		wl := hashmapFor(p)
+		wl.LookupsPerRead = lookups
+		wl.UpdatePercent = 50
+		sec := Section{Title: fmt.Sprintf("reader size = %d lookups", lookups)}
+		for _, algo := range []string{AlgoSpRWL, AlgoSpRWLSNZI} {
+			pt, err := RunHashmapPoint(HashmapPointConfig{
+				Algo: algo, Threads: threads, Profile: p,
+				Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s lookups=%d: %w", algo, lookups, err)
+			}
+			opts.progress("fig6: %s", pt)
+			sec.Points = append(sec.Points, pt)
+		}
+		rep.Sections = append(rep.Sections, sec)
+	}
+	return rep, nil
+}

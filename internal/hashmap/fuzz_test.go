@@ -1,0 +1,64 @@
+package hashmap
+
+import (
+	"testing"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+)
+
+// FuzzOpsAgainstModel interprets the fuzz input as an operation script and
+// cross-checks the simulated-memory hashmap against a Go map model
+// (multiset semantics: the model tracks per-key value stacks).
+//
+// Seed corpus plus `go test -fuzz=FuzzOpsAgainstModel ./internal/hashmap`.
+func FuzzOpsAgainstModel(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x81, 0x42, 0x02})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x80, 0x81, 0x82})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		space := htm.MustNewSpace(htm.Config{Threads: 1, Words: 1 << 16})
+		ar := memmodel.NewArena(0, space.Size())
+		pool := alloc.NewPool(ar, NodeWords, 1)
+		m := New(ar, 8, pool)
+		model := map[uint64][]uint64{}
+
+		for i := 0; i+1 < len(script) && i < 400; i += 2 {
+			op, keyB := script[i], script[i+1]
+			key := uint64(keyB % 16)
+			switch op % 3 {
+			case 0: // insert
+				val := uint64(op)<<8 | uint64(keyB)
+				m.Insert(space, key, val, pool.Get(0))
+				model[key] = append(model[key], val)
+			case 1: // delete
+				node := m.Delete(space, key)
+				stack := model[key]
+				if (node != 0) != (len(stack) > 0) {
+					t.Fatalf("Delete(%d) presence mismatch: node=%d model=%d", key, node, len(stack))
+				}
+				if node != 0 {
+					pool.Put(0, node)
+					model[key] = stack[:len(stack)-1]
+				}
+			case 2: // lookup
+				v, ok := m.Lookup(space, key)
+				stack := model[key]
+				if ok != (len(stack) > 0) {
+					t.Fatalf("Lookup(%d) presence mismatch", key)
+				}
+				if ok && v != stack[len(stack)-1] {
+					t.Fatalf("Lookup(%d) = %d, model head %d", key, v, stack[len(stack)-1])
+				}
+			}
+		}
+		want := 0
+		for _, s := range model {
+			want += len(s)
+		}
+		if got := m.Len(space); got != want {
+			t.Fatalf("Len = %d, model holds %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+// Package hashmap implements the concurrent-hashmap micro-benchmark of the
+// paper's sensitivity analysis (§4.1): a fixed-bucket chained hash table
+// protected by a single read-write lock, offering lookup, insert and delete.
+//
+// The map lives entirely in simulated memory and is written against
+// memmodel.Accessor, so the same code runs uninstrumented, transactionally,
+// and under the discrete-event simulator. Layout choices mirror the
+// workload regimes the paper depends on:
+//
+//   - one node per cache line, so a chain traversal reads one line per
+//     visited node — chain length × lookups-per-section directly sets the
+//     reader's HTM footprint (the Fig. 3 vs Fig. 4 contrast);
+//   - inserts link at the chain head and carry pre-allocated nodes, so an
+//     update's write footprint is a couple of lines — the paper's updates
+//     "fit the capacity limitations of the underlying HTM implementation".
+//
+// Inserts do not check for duplicates (multiset semantics): with balanced
+// insert/delete rates over a fixed key space the expected chain lengths are
+// stationary, matching the paper's pre-populated steady state while keeping
+// writer footprints small.
+package hashmap
+
+import (
+	"fmt"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/memmodel"
+)
+
+// Node layout (one cache line).
+const (
+	nodeKey  = 0 // word offset of the key
+	nodeVal  = 1 // word offset of the value
+	nodeNext = 2 // word offset of the next pointer (0 = nil)
+
+	// NodeWords is the simulated-memory footprint of one node.
+	NodeWords = memmodel.LineWords
+)
+
+// Map is a chained hash table in simulated memory.
+type Map struct {
+	buckets  memmodel.Addr // nbuckets consecutive words of head pointers
+	nbuckets int
+	pool     *alloc.Pool
+}
+
+// Words returns the bucket-array footprint for nbuckets (node storage is
+// pool-managed separately).
+func Words(nbuckets int) int {
+	return (nbuckets + memmodel.LineWords - 1) / memmodel.LineWords * memmodel.LineWords
+}
+
+// New carves the bucket array out of ar; nodes come from pool, whose blocks
+// must be at least NodeWords long. The bucket region must read zero (empty
+// chains). Address 0 is reserved as the nil pointer: the arena must have
+// advanced past it, which New verifies.
+func New(ar *memmodel.Arena, nbuckets int, pool *alloc.Pool) *Map {
+	if nbuckets <= 0 {
+		panic("hashmap: non-positive bucket count")
+	}
+	if pool.BlockWords() < NodeWords {
+		panic(fmt.Sprintf("hashmap: pool blocks of %d words are smaller than a node (%d)", pool.BlockWords(), NodeWords))
+	}
+	base := ar.AllocWords(Words(nbuckets))
+	if base == 0 {
+		// Reserve line zero so that 0 can encode nil.
+		base = ar.AllocWords(Words(nbuckets))
+	}
+	return &Map{buckets: base, nbuckets: nbuckets, pool: pool}
+}
+
+// hash mixes the key (splitmix64 finalizer) onto a bucket index.
+func (m *Map) hash(key uint64) int {
+	x := key
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(m.nbuckets))
+}
+
+func (m *Map) bucketAddr(i int) memmodel.Addr { return m.buckets + memmodel.Addr(i) }
+
+// Lookup walks the key's chain and returns the first matching node's value.
+func (m *Map) Lookup(acc memmodel.Accessor, key uint64) (uint64, bool) {
+	node := acc.Load(m.bucketAddr(m.hash(key)))
+	for node != 0 {
+		a := memmodel.Addr(node)
+		if acc.Load(a+nodeKey) == key {
+			return acc.Load(a + nodeVal), true
+		}
+		node = acc.Load(a + nodeNext)
+	}
+	return 0, false
+}
+
+// Insert links the pre-allocated node (from the map's pool) at the head of
+// the key's chain. The caller allocates the node outside the critical
+// section and must recycle it only if the section ultimately did not run.
+func (m *Map) Insert(acc memmodel.Accessor, key, val uint64, node memmodel.Addr) {
+	b := m.bucketAddr(m.hash(key))
+	head := acc.Load(b)
+	acc.Store(node+nodeKey, key)
+	acc.Store(node+nodeVal, val)
+	acc.Store(node+nodeNext, head)
+	acc.Store(b, uint64(node))
+}
+
+// Delete unlinks the first node matching key and returns it for recycling
+// (after the critical section commits), or 0 if the key was absent.
+func (m *Map) Delete(acc memmodel.Accessor, key uint64) memmodel.Addr {
+	b := m.bucketAddr(m.hash(key))
+	prev := b
+	node := acc.Load(b)
+	for node != 0 {
+		a := memmodel.Addr(node)
+		next := acc.Load(a + nodeNext)
+		if acc.Load(a+nodeKey) == key {
+			acc.Store(prev, next)
+			return a
+		}
+		prev = a + nodeNext
+		node = next
+	}
+	return 0
+}
+
+// ChainLen returns the length of key's chain (testing/diagnostics).
+func (m *Map) ChainLen(acc memmodel.Accessor, key uint64) int {
+	n := 0
+	node := acc.Load(m.bucketAddr(m.hash(key)))
+	for node != 0 {
+		n++
+		node = acc.Load(memmodel.Addr(node) + nodeNext)
+	}
+	return n
+}
+
+// Len walks every chain and returns the total item count (testing only).
+func (m *Map) Len(acc memmodel.Accessor) int {
+	n := 0
+	for i := 0; i < m.nbuckets; i++ {
+		node := acc.Load(m.bucketAddr(i))
+		for node != 0 {
+			n++
+			node = acc.Load(memmodel.Addr(node) + nodeNext)
+		}
+	}
+	return n
+}
+
+// Populate inserts items sequential keys [0, items) with value==key,
+// allocating from slot 0's pool cache. It is meant for single-threaded
+// setup before workers start.
+func (m *Map) Populate(acc memmodel.Accessor, items int) {
+	for k := 0; k < items; k++ {
+		m.Insert(acc, uint64(k), uint64(k), m.pool.Get(0))
+	}
+}

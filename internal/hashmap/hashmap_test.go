@@ -1,0 +1,195 @@
+package hashmap
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+)
+
+func setup(t *testing.T, nbuckets int) (*Map, *htm.Space, *alloc.Pool) {
+	t.Helper()
+	space, err := htm.NewSpace(htm.Config{Threads: 2, Words: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := memmodel.NewArena(0, space.Size())
+	pool := alloc.NewPool(ar, NodeWords, 2)
+	m := New(ar, nbuckets, pool)
+	return m, space, pool
+}
+
+func TestEmptyLookup(t *testing.T) {
+	m, space, _ := setup(t, 16)
+	if _, ok := m.Lookup(space, 42); ok {
+		t.Fatal("Lookup hit in empty map")
+	}
+	if got := m.Len(space); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	m, space, pool := setup(t, 16)
+	m.Insert(space, 7, 700, pool.Get(0))
+	v, ok := m.Lookup(space, 7)
+	if !ok || v != 700 {
+		t.Fatalf("Lookup(7) = %d,%v, want 700,true", v, ok)
+	}
+	node := m.Delete(space, 7)
+	if node == 0 {
+		t.Fatal("Delete(7) found nothing")
+	}
+	pool.Put(0, node)
+	if _, ok := m.Lookup(space, 7); ok {
+		t.Fatal("Lookup hit after delete")
+	}
+}
+
+func TestDeleteAbsentKey(t *testing.T) {
+	m, space, pool := setup(t, 16)
+	m.Insert(space, 1, 10, pool.Get(0))
+	if node := m.Delete(space, 2); node != 0 {
+		t.Fatalf("Delete(absent) returned node %d", node)
+	}
+	if got := m.Len(space); got != 1 {
+		t.Fatalf("Len = %d after absent delete, want 1", got)
+	}
+}
+
+func TestMultisetSemantics(t *testing.T) {
+	m, space, pool := setup(t, 4)
+	m.Insert(space, 5, 1, pool.Get(0))
+	m.Insert(space, 5, 2, pool.Get(0))
+	// Head insertion: the latest value wins lookups.
+	if v, _ := m.Lookup(space, 5); v != 2 {
+		t.Fatalf("Lookup = %d, want newest value 2", v)
+	}
+	pool.Put(0, m.Delete(space, 5))
+	if v, ok := m.Lookup(space, 5); !ok || v != 1 {
+		t.Fatalf("Lookup after one delete = %d,%v, want 1,true", v, ok)
+	}
+}
+
+func TestDeleteMidChain(t *testing.T) {
+	m, space, pool := setup(t, 1) // single bucket: everything chains
+	for k := uint64(0); k < 5; k++ {
+		m.Insert(space, k, k*10, pool.Get(0))
+	}
+	pool.Put(0, m.Delete(space, 2))
+	for k := uint64(0); k < 5; k++ {
+		v, ok := m.Lookup(space, k)
+		if k == 2 {
+			if ok {
+				t.Fatal("deleted mid-chain key still found")
+			}
+			continue
+		}
+		if !ok || v != k*10 {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d,true", k, v, ok, k*10)
+		}
+	}
+	if got := m.Len(space); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+}
+
+func TestPopulateDistribution(t *testing.T) {
+	const (
+		buckets = 64
+		items   = 64 * 32
+	)
+	m, space, _ := setup(t, buckets)
+	m.Populate(space, items)
+	if got := m.Len(space); got != items {
+		t.Fatalf("Len = %d after Populate, want %d", got, items)
+	}
+	// Chains should be reasonably balanced: no chain an order of
+	// magnitude off the mean.
+	mean := items / buckets
+	for k := uint64(0); k < 200; k++ {
+		if l := m.ChainLen(space, k); l < mean/8 || l > mean*8 {
+			t.Fatalf("chain for key %d has length %d, mean %d — hash badly skewed", k, l, mean)
+		}
+	}
+}
+
+// TestQuickAgainstModel drives random multiset operations against a Go map
+// model; lookups and sizes must agree throughout.
+func TestQuickAgainstModel(t *testing.T) {
+	prop := func(seed uint64, ops uint8) bool {
+		m, space, pool := setup(t, 8)
+		model := map[uint64][]uint64{} // key -> stack of values (head order)
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 50 + int(ops)
+		for i := 0; i < n; i++ {
+			key := uint64(rng.IntN(12))
+			switch rng.IntN(3) {
+			case 0: // insert
+				val := rng.Uint64()
+				m.Insert(space, key, val, pool.Get(0))
+				model[key] = append(model[key], val)
+			case 1: // delete
+				node := m.Delete(space, key)
+				if (node != 0) != (len(model[key]) > 0) {
+					return false
+				}
+				if node != 0 {
+					pool.Put(0, node)
+					model[key] = model[key][:len(model[key])-1]
+				}
+			case 2: // lookup
+				v, ok := m.Lookup(space, key)
+				stack := model[key]
+				if ok != (len(stack) > 0) {
+					return false
+				}
+				if ok && v != stack[len(stack)-1] {
+					return false
+				}
+			}
+		}
+		want := 0
+		for _, s := range model {
+			want += len(s)
+		}
+		return m.Len(space) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	space := htm.MustNewSpace(htm.Config{Threads: 1, Words: 1 << 12})
+	ar := memmodel.NewArena(0, space.Size())
+	pool := alloc.NewPool(ar, NodeWords, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted zero buckets")
+		}
+	}()
+	New(ar, 0, pool)
+}
+
+func TestNilPointerNeverAmbiguous(t *testing.T) {
+	// Even when the map is the first allocation, node addresses must
+	// never be 0 (the nil sentinel).
+	space := htm.MustNewSpace(htm.Config{Threads: 1, Words: 1 << 14})
+	ar := memmodel.NewArena(0, space.Size())
+	pool := alloc.NewPool(ar, NodeWords, 1)
+	m := New(ar, 8, pool)
+	for i := 0; i < 10; i++ {
+		n := pool.Get(0)
+		if n == 0 {
+			t.Fatal("pool handed out address 0, which is the nil sentinel")
+		}
+		m.Insert(space, uint64(i), 0, n)
+	}
+	if got := m.Len(space); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+}

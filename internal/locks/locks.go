@@ -1,0 +1,102 @@
+// Package locks implements the pessimistic read-write lock baselines the
+// paper evaluates SpRWL against (§2, §4): the pthread-style RWLock, the
+// Linux Big Reader Lock (BRLock), the phase-fair RWLock of Brandenburg and
+// Anderson, and the Passive Reader-Writer Lock of Liu, Zhang and Chen — plus
+// the spin mutex used as the single-global-lock fallback by the HTM-based
+// algorithms.
+//
+// All lock state lives in simulated memory and is manipulated through an
+// env.Env, so the same implementations run under the real concurrent
+// runtime and under the discrete-event simulator that regenerates the
+// paper's figures.
+package locks
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/stats"
+)
+
+// SpinMutex is a test-and-test-and-set spin lock on a single simulated
+// word. It is the single-global-lock (SGL) fallback primitive of the
+// HTM-based algorithms and the building block of BRLock and PRWL.
+type SpinMutex struct {
+	e env.Env
+	a memmodel.Addr
+}
+
+// NewSpinMutex builds a mutex over the word at a, which must read zero
+// (unlocked).
+func NewSpinMutex(e env.Env, a memmodel.Addr) SpinMutex {
+	return SpinMutex{e: e, a: a}
+}
+
+// Addr returns the lock word's address, for transactional subscription.
+func (m SpinMutex) Addr() memmodel.Addr { return m.a }
+
+// Lock acquires the mutex, spinning with test-and-test-and-set.
+func (m SpinMutex) Lock() {
+	for {
+		if m.e.Load(m.a) == 0 && m.e.CAS(m.a, 0, 1) {
+			return
+		}
+		m.e.Yield()
+	}
+}
+
+// TryLock attempts a single acquisition.
+func (m SpinMutex) TryLock() bool {
+	return m.e.Load(m.a) == 0 && m.e.CAS(m.a, 0, 1)
+}
+
+// Unlock releases the mutex.
+func (m SpinMutex) Unlock() { m.e.Store(m.a, 0) }
+
+// IsLocked reports the lock word's current state.
+func (m SpinMutex) IsLocked() bool { return m.e.Load(m.a) != 0 }
+
+// The paper's pessimistic baselines are pthread-style locks: a waiter spins
+// briefly and then blocks in the kernel, paying a wake-up latency when the
+// lock is released. Pure spinning would make these baselines unrealistically
+// responsive (no syscall, no scheduler handoff), so their wait loops use a
+// spin-then-block waiter with the latency constants below.
+const (
+	// pessimisticSpinLimit is how many spin iterations precede blocking.
+	pessimisticSpinLimit = 20
+	// pessimisticWakeCycles models futex-wake plus scheduler latency.
+	pessimisticWakeCycles = 4000
+)
+
+// waiter is a spin-then-block wait strategy.
+type waiter struct {
+	e     env.Env
+	spins int
+}
+
+// pause is called once per failed acquisition check.
+func (w *waiter) pause() {
+	if w.spins < pessimisticSpinLimit {
+		w.spins++
+		w.e.Yield()
+		return
+	}
+	w.e.WaitUntil(w.e.Now() + pessimisticWakeCycles)
+}
+
+// blockingLock acquires m with the pessimistic wait strategy.
+func blockingLock(e env.Env, m SpinMutex) {
+	w := waiter{e: e}
+	for !m.TryLock() {
+		w.pause()
+	}
+}
+
+// recordPessimistic books one completed pessimistic critical section and
+// its end-to-end latency.
+func recordPessimistic(c *stats.Collector, slot int, k stats.Kind, latency uint64) {
+	if c != nil {
+		t := c.Thread(slot)
+		t.Commit(k, env.ModePessimistic)
+		t.Latency(k, latency)
+	}
+}

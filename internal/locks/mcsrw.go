@@ -1,0 +1,213 @@
+package locks
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+)
+
+// MCSRW is the fair queue-based reader-writer lock of Mellor-Crummey and
+// Scott (PPoPP '91), the classical scalable RWLock the paper cites in §2:
+// requesters enqueue FIFO and spin locally on their own queue node, so the
+// lock generates no global spinning traffic; consecutive readers in the
+// queue are admitted together.
+//
+// Lock state: a queue tail, a reader count, and a next-writer slot used to
+// hand the lock from the last exiting reader to the first queued writer.
+// Each thread owns one queue node (class word, next pointer, and a combined
+// blocked/successor-class state word updated only by CAS, since both fields
+// race with neighbours).
+type MCSRW struct {
+	e          env.Env
+	tail       memmodel.Addr // qnode address, 0 = empty
+	rdrCount   memmodel.Addr
+	nextWriter memmodel.Addr // qnode address, 0 = none
+	nodes      memmodel.Addr // one line per thread
+	col        *stats.Collector
+}
+
+// Queue-node layout (word offsets) and state-word encoding.
+const (
+	qClass = 0 // mcsReading / mcsWriting
+	qNext  = 1 // successor qnode address, 0 = none
+	qState = 2 // blocked bit | successor class << 1
+
+	mcsReading = uint64(1)
+	mcsWriting = uint64(2)
+
+	mcsBlocked  = uint64(1)
+	mcsSuccNone = uint64(0) << 1
+	mcsSuccRdr  = uint64(1) << 1
+	mcsSuccWrt  = uint64(2) << 1
+	mcsSuccMask = uint64(3) << 1
+)
+
+var _ rwlock.Lock = (*MCSRW)(nil)
+
+// NewMCSRW carves the lock out of the arena for the given thread count.
+// col may be nil.
+func NewMCSRW(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector) *MCSRW {
+	return &MCSRW{
+		e:          e,
+		tail:       ar.AllocLines(1),
+		rdrCount:   ar.AllocLines(1),
+		nextWriter: ar.AllocLines(1),
+		nodes:      ar.AllocLines(threads),
+		col:        col,
+	}
+}
+
+// Name implements rwlock.Lock.
+func (*MCSRW) Name() string { return "MCS-RW" }
+
+// NewHandle implements rwlock.Lock.
+func (l *MCSRW) NewHandle(slot int) rwlock.Handle { return &mcsHandle{l: l, slot: slot} }
+
+func (l *MCSRW) node(slot int) memmodel.Addr {
+	return l.nodes + memmodel.Addr(slot*memmodel.LineWords)
+}
+
+// casState atomically applies f to a node's state word.
+func (l *MCSRW) casState(n memmodel.Addr, f func(uint64) uint64) uint64 {
+	for {
+		s := l.e.Load(n + qState)
+		if l.e.CAS(n+qState, s, f(s)) {
+			return s
+		}
+	}
+}
+
+// unblock clears a node's blocked bit, preserving its successor class.
+func (l *MCSRW) unblock(n memmodel.Addr) {
+	l.casState(n, func(s uint64) uint64 { return s &^ mcsBlocked })
+}
+
+type mcsHandle struct {
+	l    *MCSRW
+	slot int
+}
+
+func (h *mcsHandle) Read(csID int, body rwlock.Body) {
+	l := h.l
+	start := l.e.Now()
+	I := l.node(h.slot)
+	l.e.Store(I+qClass, mcsReading)
+	l.e.Store(I+qNext, 0)
+	l.e.Store(I+qState, mcsBlocked|mcsSuccNone)
+
+	pred := l.swapTail(I)
+	if pred == 0 {
+		l.e.Add(l.rdrCount, 1)
+		l.unblock(I)
+	} else {
+		// A blocked-reader predecessor adopts us (we are admitted
+		// when it is); an active reader admits us immediately; a
+		// writer just queues us.
+		adopted := l.e.Load(pred+qClass) == mcsWriting ||
+			l.e.CAS(pred+qState, mcsBlocked|mcsSuccNone, mcsBlocked|mcsSuccRdr)
+		if adopted {
+			l.e.Store(pred+qNext, uint64(I))
+			w := waiter{e: l.e}
+			for l.e.Load(I+qState)&mcsBlocked != 0 {
+				w.pause()
+			}
+		} else {
+			l.e.Add(l.rdrCount, 1)
+			l.e.Store(pred+qNext, uint64(I))
+			l.unblock(I)
+		}
+	}
+	// Admit a reader successor that queued behind us while we were
+	// blocked (consecutive readers enter together).
+	if l.e.Load(I+qState)&mcsSuccMask == mcsSuccRdr {
+		w := waiter{e: l.e}
+		for l.e.Load(I+qNext) == 0 {
+			w.pause()
+		}
+		l.e.Add(l.rdrCount, 1)
+		l.unblock(memmodel.Addr(l.e.Load(I + qNext)))
+	}
+
+	body(l.e)
+
+	// Exit: detach from the queue, handing a queued writer to the
+	// next-writer slot; the last reader out wakes it.
+	if l.e.Load(I+qNext) != 0 || !l.e.CAS(l.tail, uint64(I), 0) {
+		w := waiter{e: l.e}
+		for l.e.Load(I+qNext) == 0 {
+			w.pause()
+		}
+		if l.e.Load(I+qState)&mcsSuccMask == mcsSuccWrt {
+			l.e.Store(l.nextWriter, l.e.Load(I+qNext))
+		}
+	}
+	if l.e.Add(l.rdrCount, ^uint64(0)) == 0 {
+		if wtr := l.swapNextWriter(0); wtr != 0 {
+			l.unblock(memmodel.Addr(wtr))
+		}
+	}
+	recordPessimistic(l.col, h.slot, stats.Reader, l.e.Now()-start)
+}
+
+func (h *mcsHandle) Write(csID int, body rwlock.Body) {
+	l := h.l
+	start := l.e.Now()
+	I := l.node(h.slot)
+	l.e.Store(I+qClass, mcsWriting)
+	l.e.Store(I+qNext, 0)
+	l.e.Store(I+qState, mcsBlocked|mcsSuccNone)
+
+	pred := l.swapTail(I)
+	if pred == 0 {
+		l.e.Store(l.nextWriter, uint64(I))
+		if l.e.Load(l.rdrCount) == 0 && l.swapNextWriter(0) == uint64(I) {
+			l.unblock(I)
+		}
+	} else {
+		// Announce ourselves as the writer successor before linking,
+		// so an exiting reader predecessor cannot miss us.
+		l.casState(pred, func(s uint64) uint64 { return (s &^ mcsSuccMask) | mcsSuccWrt })
+		l.e.Store(pred+qNext, uint64(I))
+	}
+	w := waiter{e: l.e}
+	for l.e.Load(I+qState)&mcsBlocked != 0 {
+		w.pause()
+	}
+
+	body(l.e)
+
+	// Exit: pass the lock to the successor, whatever its class.
+	if l.e.Load(I+qNext) != 0 || !l.e.CAS(l.tail, uint64(I), 0) {
+		for l.e.Load(I+qNext) == 0 {
+			w.pause()
+		}
+		next := memmodel.Addr(l.e.Load(I + qNext))
+		if l.e.Load(next+qClass) == mcsReading {
+			l.e.Add(l.rdrCount, 1)
+		}
+		l.unblock(next)
+	}
+	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+}
+
+// swapTail atomically exchanges the queue tail, returning the previous
+// node (0 when the queue was empty).
+func (l *MCSRW) swapTail(n memmodel.Addr) memmodel.Addr {
+	for {
+		old := l.e.Load(l.tail)
+		if l.e.CAS(l.tail, old, uint64(n)) {
+			return memmodel.Addr(old)
+		}
+	}
+}
+
+// swapNextWriter atomically exchanges the next-writer slot.
+func (l *MCSRW) swapNextWriter(v uint64) uint64 {
+	for {
+		old := l.e.Load(l.nextWriter)
+		if l.e.CAS(l.nextWriter, old, v) {
+			return old
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package locks
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+)
+
+// PFRWL is the phase-fair reader-writer lock of Brandenburg and Anderson
+// (ECRTS '09), the ticket-based PF-T variant: reader and writer phases
+// alternate, so a reader waits for at most one writer phase and writers
+// cannot be starved by a stream of readers. The paper singles out
+// phase-fairness (§2) as the pessimistic analogue of SpRWL's reader
+// synchronization scheme.
+//
+// Four counters on separate lines: rin/rout count reader entries and exits
+// in units of pfReaderInc, with the writer-present and phase bits packed in
+// the low bits of rin; win/wout are the writer ticket and release counters.
+type PFRWL struct {
+	e                    env.Env
+	rin, rout, win, wout memmodel.Addr
+	col                  *stats.Collector
+}
+
+const (
+	pfReaderInc  = uint64(0x100)
+	pfWriterBits = uint64(0x3)
+	pfPresent    = uint64(0x2)
+	pfPhase      = uint64(0x1)
+)
+
+var _ rwlock.Lock = (*PFRWL)(nil)
+
+// NewPFRWL carves the lock out of the arena. col may be nil.
+func NewPFRWL(e env.Env, ar *memmodel.Arena, col *stats.Collector) *PFRWL {
+	return &PFRWL{
+		e:    e,
+		rin:  ar.AllocLines(1),
+		rout: ar.AllocLines(1),
+		win:  ar.AllocLines(1),
+		wout: ar.AllocLines(1),
+		col:  col,
+	}
+}
+
+// Name implements rwlock.Lock.
+func (*PFRWL) Name() string { return "PFRWL" }
+
+// NewHandle implements rwlock.Lock.
+func (l *PFRWL) NewHandle(slot int) rwlock.Handle { return &pfHandle{l: l, slot: slot} }
+
+type pfHandle struct {
+	l    *PFRWL
+	slot int
+}
+
+func (h *pfHandle) Read(csID int, body rwlock.Body) {
+	start := h.l.e.Now()
+	l := h.l
+	// Enter: announce ourselves and capture the writer bits at entry.
+	w := (l.e.Add(l.rin, pfReaderInc) - pfReaderInc) & pfWriterBits
+	if w != 0 {
+		// A writer is present: wait for the phase to change (the
+		// writer leaves, or a new writer with a different phase bit
+		// takes over — either way we are admitted after at most one
+		// full writer phase).
+		wt := waiter{e: l.e}
+		for l.e.Load(l.rin)&pfWriterBits == w {
+			wt.pause()
+		}
+	}
+	body(l.e)
+	l.e.Add(l.rout, pfReaderInc)
+	recordPessimistic(l.col, h.slot, stats.Reader, l.e.Now()-start)
+}
+
+func (h *pfHandle) Write(csID int, body rwlock.Body) {
+	start := h.l.e.Now()
+	l := h.l
+	// Writers serialize on tickets.
+	ticket := l.e.Add(l.win, 1) - 1
+	wt := waiter{e: l.e}
+	for l.e.Load(l.wout) != ticket {
+		wt.pause()
+	}
+	// Announce presence with the phase bit of our ticket, blocking new
+	// readers, and capture the reader count at entry.
+	w := pfPresent | (ticket & pfPhase)
+	rticket := (l.e.Add(l.rin, w) - w) &^ pfWriterBits
+	// Wait for the readers that preceded us to drain.
+	wt = waiter{e: l.e}
+	for l.e.Load(l.rout) != rticket {
+		wt.pause()
+	}
+	body(l.e)
+	// Release: clear the writer bits (admitting blocked readers), then
+	// pass the ticket baton.
+	for {
+		x := l.e.Load(l.rin)
+		if l.e.CAS(l.rin, x, x&^pfWriterBits) {
+			break
+		}
+	}
+	l.e.Add(l.wout, 1)
+	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+}

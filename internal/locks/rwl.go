@@ -1,0 +1,86 @@
+package locks
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+)
+
+// RWL is the pthread-style read-write lock baseline ("RWL" in the paper's
+// plots): a single word holding a reader count, a waiting-writer count, and
+// a writer-active flag. Writers are preferred — arriving readers defer to
+// waiting writers — which avoids writer starvation, matching the behaviour
+// of glibc's writer-preferring configuration the paper's baseline exhibits
+// under contention. All threads spin on one cache line, which is exactly
+// the scalability bottleneck the paper's RWL curves show.
+type RWL struct {
+	e    env.Env
+	word memmodel.Addr
+	col  *stats.Collector
+}
+
+const (
+	rwlReaderUnit   = uint64(1)
+	rwlReaderMask   = (uint64(1) << 20) - 1
+	rwlWaitingUnit  = uint64(1) << 20
+	rwlWaitingMask  = ((uint64(1) << 20) - 1) << 20
+	rwlActiveWriter = uint64(1) << 40
+)
+
+var _ rwlock.Lock = (*RWL)(nil)
+
+// NewRWL carves the lock out of the arena. col may be nil.
+func NewRWL(e env.Env, ar *memmodel.Arena, col *stats.Collector) *RWL {
+	return &RWL{e: e, word: ar.AllocLines(1), col: col}
+}
+
+// Name implements rwlock.Lock.
+func (*RWL) Name() string { return "RWL" }
+
+// NewHandle implements rwlock.Lock.
+func (l *RWL) NewHandle(slot int) rwlock.Handle { return &rwlHandle{l: l, slot: slot} }
+
+type rwlHandle struct {
+	l    *RWL
+	slot int
+}
+
+func (h *rwlHandle) Read(csID int, body rwlock.Body) {
+	start := h.l.e.Now()
+	l := h.l
+	w := waiter{e: l.e}
+	for {
+		x := l.e.Load(l.word)
+		if x&(rwlWaitingMask|rwlActiveWriter) == 0 {
+			if l.e.CAS(l.word, x, x+rwlReaderUnit) {
+				break
+			}
+			continue
+		}
+		w.pause()
+	}
+	body(l.e)
+	l.e.Add(l.word, ^uint64(0)) // readers--
+	recordPessimistic(l.col, h.slot, stats.Reader, l.e.Now()-start)
+}
+
+func (h *rwlHandle) Write(csID int, body rwlock.Body) {
+	start := h.l.e.Now()
+	l := h.l
+	l.e.Add(l.word, rwlWaitingUnit)
+	w := waiter{e: l.e}
+	for {
+		x := l.e.Load(l.word)
+		if x&rwlReaderMask == 0 && x&rwlActiveWriter == 0 {
+			if l.e.CAS(l.word, x, x-rwlWaitingUnit+rwlActiveWriter) {
+				break
+			}
+			continue
+		}
+		w.pause()
+	}
+	body(l.e)
+	l.e.Add(l.word, ^(rwlActiveWriter)+1) // clear the active flag
+	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+}

@@ -1,0 +1,52 @@
+package memmodel
+
+import "fmt"
+
+// Arena is a line-aligned bump allocator over a simulated address space,
+// used at layout time to carve lock words, metadata arrays, and data
+// structures out of one Space. It is not safe for concurrent use; layout
+// happens before worker threads start. (Runtime allocation inside critical
+// sections is package alloc's job.)
+type Arena struct {
+	next  Addr
+	limit Addr
+}
+
+// NewArena returns an arena handing out [base, limit) word addresses.
+// base is rounded up to a line boundary.
+func NewArena(base, limit Addr) *Arena {
+	return &Arena{next: alignUp(base), limit: limit}
+}
+
+func alignUp(a Addr) Addr {
+	return (a + LineWords - 1) / LineWords * LineWords
+}
+
+// AllocWords reserves n words, line-aligned at the start, and returns the
+// base address. It panics if the arena is exhausted: layout sizes are static
+// and an overflow is a programming error, not a runtime condition.
+func (ar *Arena) AllocWords(n int) Addr {
+	if n <= 0 {
+		panic("memmodel: AllocWords with non-positive size")
+	}
+	base := ar.next
+	ar.next = alignUp(base + Addr(n))
+	if ar.next > ar.limit {
+		panic(fmt.Sprintf("memmodel: arena exhausted (need %d words at %d, limit %d)", n, base, ar.limit))
+	}
+	return base
+}
+
+// AllocLines reserves n whole cache lines and returns the base address.
+func (ar *Arena) AllocLines(n int) Addr { return ar.AllocWords(n * LineWords) }
+
+// Remaining returns how many words are still available.
+func (ar *Arena) Remaining() Addr {
+	if ar.next >= ar.limit {
+		return 0
+	}
+	return ar.limit - ar.next
+}
+
+// Next returns the next address the arena would hand out.
+func (ar *Arena) Next() Addr { return ar.next }

@@ -1,0 +1,62 @@
+// Package memmodel defines the simulated shared-memory geometry that every
+// other component of this repository is written against.
+//
+// The paper's algorithms (SpRWL, TLE, RW-LE, and the pessimistic baselines)
+// synchronize accesses to shared application data. Because Go exposes no
+// hardware-transactional-memory intrinsics, shared data lives in a simulated
+// word-addressable address space whose accesses are observable by the HTM
+// emulation layer (package htm). Workloads (hashmap, TPC-C) are written once
+// against the Accessor interface and therefore run identically under
+// uninstrumented, transactional, and discrete-event-simulated execution.
+package memmodel
+
+// Addr indexes a 64-bit word in a simulated address space. Addresses are
+// word-granular: Addr(0) is the first word, Addr(1) the second, and so on.
+type Addr uint64
+
+const (
+	// LineWords is the number of 64-bit words per simulated cache line.
+	// 8 words x 8 bytes matches the ubiquitous 64-byte line the paper's
+	// Broadwell and POWER8 machines use.
+	LineWords = 8
+
+	// LineShift is log2(LineWords), used to map an Addr to its line.
+	LineShift = 3
+
+	// LineBytes is the size of a simulated cache line in bytes.
+	LineBytes = LineWords * 8
+)
+
+// Line identifies a simulated cache line (a group of LineWords words).
+type Line uint64
+
+// LineOf returns the cache line containing address a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// LineBase returns the first address of line l.
+func LineBase(l Line) Addr { return Addr(l << LineShift) }
+
+// Accessor is the data-plane view of a simulated address space.
+//
+// Critical-section bodies receive an Accessor and must perform every access
+// to shared data through it. Depending on the execution mode the Accessor is
+// either a direct (uninstrumented) view with strong-isolation semantics, a
+// transactional view with buffered writes and eager conflict detection, or a
+// discrete-event-simulated view that additionally charges coherence costs.
+type Accessor interface {
+	// Load returns the current value of the word at a.
+	Load(a Addr) uint64
+	// Store sets the word at a to v.
+	Store(a Addr, v uint64)
+}
+
+// Space is the provisioning-plane view of a simulated address space: the
+// operations needed to set up data structures before (or outside of)
+// synchronized execution.
+type Space interface {
+	Accessor
+	// CAS atomically compares-and-swaps the word at a.
+	CAS(a Addr, old, new uint64) bool
+	// Size returns the number of words in the space.
+	Size() Addr
+}

@@ -1,0 +1,79 @@
+package memmodel
+
+import "testing"
+
+func TestLineGeometry(t *testing.T) {
+	tests := []struct {
+		addr Addr
+		line Line
+	}{
+		{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {1 << 20, 1 << 17},
+	}
+	for _, tt := range tests {
+		if got := LineOf(tt.addr); got != tt.line {
+			t.Errorf("LineOf(%d) = %d, want %d", tt.addr, got, tt.line)
+		}
+	}
+	if LineBytes != 64 {
+		t.Fatalf("LineBytes = %d, want 64", LineBytes)
+	}
+	for l := Line(0); l < 10; l++ {
+		if LineOf(LineBase(l)) != l {
+			t.Fatalf("LineBase/LineOf not inverse at line %d", l)
+		}
+	}
+}
+
+func TestArenaAllocatesAlignedNonOverlapping(t *testing.T) {
+	ar := NewArena(3, 1024) // misaligned base must round up
+	a := ar.AllocWords(5)
+	if a%LineWords != 0 {
+		t.Fatalf("first allocation at %d not line-aligned", a)
+	}
+	b := ar.AllocWords(1)
+	if b < a+5 {
+		t.Fatalf("allocations overlap: %d then %d", a, b)
+	}
+	if b%LineWords != 0 {
+		t.Fatalf("second allocation at %d not line-aligned", b)
+	}
+	c := ar.AllocLines(2)
+	if c%LineWords != 0 || c < b+1 {
+		t.Fatalf("AllocLines misplaced: %d", c)
+	}
+}
+
+func TestArenaRemainingAndNext(t *testing.T) {
+	ar := NewArena(0, 4*LineWords)
+	if ar.Remaining() != 4*LineWords {
+		t.Fatalf("Remaining = %d, want %d", ar.Remaining(), 4*LineWords)
+	}
+	ar.AllocLines(3)
+	if ar.Remaining() != LineWords {
+		t.Fatalf("Remaining = %d after 3 lines, want %d", ar.Remaining(), LineWords)
+	}
+	if ar.Next() != 3*LineWords {
+		t.Fatalf("Next = %d, want %d", ar.Next(), 3*LineWords)
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	ar := NewArena(0, LineWords)
+	ar.AllocLines(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted arena did not panic")
+		}
+	}()
+	ar.AllocWords(1)
+}
+
+func TestArenaRejectsNonPositiveSize(t *testing.T) {
+	ar := NewArena(0, 1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllocWords(0) did not panic")
+		}
+	}()
+	ar.AllocWords(0)
+}

@@ -1,0 +1,189 @@
+// Package plot renders the benchmark harness's CSV output as ASCII charts —
+// a dependency-free way to eyeball the regenerated figures' shapes (scaling
+// curves per algorithm) straight from a terminal.
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one algorithm's curve within one figure section.
+type Series struct {
+	Algo string
+	X    []int     // thread counts, ascending
+	Y    []float64 // the plotted metric
+}
+
+// Chart is one section's worth of series.
+type Chart struct {
+	Figure  string
+	Section string
+	Metric  string
+	Series  []Series
+}
+
+// ParseCSV reads harness CSV output (see harness.Report.CSV) and groups it
+// into charts by (figure, section), plotting the named metric column.
+func ParseCSV(r io.Reader, metric string) ([]Chart, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("plot: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("plot: no data rows")
+	}
+	head := rows[0]
+	col := map[string]int{}
+	for i, h := range head {
+		col[h] = i
+	}
+	mi, ok := col[metric]
+	if !ok {
+		return nil, fmt.Errorf("plot: metric %q not in header %v", metric, head)
+	}
+	fi, si, ai, ti := col["figure"], col["section"], col["algo"], col["threads"]
+
+	type key struct{ fig, sec string }
+	grouped := map[key]map[string][][2]float64{}
+	var order []key
+	for _, row := range rows[1:] {
+		k := key{row[fi], row[si]}
+		if _, seen := grouped[k]; !seen {
+			grouped[k] = map[string][][2]float64{}
+			order = append(order, k)
+		}
+		threads, err := strconv.Atoi(row[ti])
+		if err != nil {
+			return nil, fmt.Errorf("plot: bad threads %q: %w", row[ti], err)
+		}
+		y, err := strconv.ParseFloat(row[mi], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plot: bad %s %q: %w", metric, row[mi], err)
+		}
+		algo := row[ai]
+		grouped[k][algo] = append(grouped[k][algo], [2]float64{float64(threads), y})
+	}
+
+	var charts []Chart
+	for _, k := range order {
+		ch := Chart{Figure: k.fig, Section: k.sec, Metric: metric}
+		var algos []string
+		for a := range grouped[k] {
+			algos = append(algos, a)
+		}
+		sort.Strings(algos)
+		for _, a := range algos {
+			pts := grouped[k][a]
+			sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+			s := Series{Algo: a}
+			for _, p := range pts {
+				s.X = append(s.X, int(p[0]))
+				s.Y = append(s.Y, p[1])
+			}
+			ch.Series = append(ch.Series, s)
+		}
+		charts = append(charts, ch)
+	}
+	return charts, nil
+}
+
+// Render writes the chart as an ASCII grid: one row per algorithm, one
+// column per thread count, each cell a bar scaled to the chart's maximum.
+func (c Chart) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s / %s — %s\n", c.Figure, c.Section, c.Metric)
+	var maxY float64
+	xs := map[int]bool{}
+	for _, s := range c.Series {
+		for i, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+			xs[s.X[i]] = true
+		}
+	}
+	var cols []int
+	for x := range xs {
+		cols = append(cols, x)
+	}
+	sort.Ints(cols)
+
+	const barW = 8
+	fmt.Fprintf(w, "%-14s", "threads:")
+	for _, x := range cols {
+		fmt.Fprintf(w, " %*d", barW, x)
+	}
+	fmt.Fprintln(w)
+	for _, s := range c.Series {
+		fmt.Fprintf(w, "%-14s", s.Algo)
+		byX := map[int]float64{}
+		for i, x := range s.X {
+			byX[x] = s.Y[i]
+		}
+		for _, x := range cols {
+			y, ok := byX[x]
+			if !ok {
+				fmt.Fprintf(w, " %*s", barW, "-")
+				continue
+			}
+			fmt.Fprintf(w, " %*s", barW, bar(y, maxY, barW))
+		}
+		fmt.Fprintf(w, "  max %.1f\n", maxOf(s.Y))
+	}
+	fmt.Fprintf(w, "(bars scaled to chart max %.1f)\n", maxY)
+}
+
+// Sparkline returns a one-line unicode sparkline for a series.
+func Sparkline(y []float64) string {
+	if len(y) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	max := maxOf(y)
+	if max == 0 {
+		return strings.Repeat("▁", len(y))
+	}
+	var b strings.Builder
+	for _, v := range y {
+		idx := int(v / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+func bar(y, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(y / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	if n == 0 && y > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+func maxOf(ys []float64) float64 {
+	var m float64
+	for _, y := range ys {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}

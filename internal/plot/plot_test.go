@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `figure,section,algo,threads,ops,cycles,throughput_ops_per_mcycle,abort_rate
+fig3,10% update,SpRWL,1,10,1000,10.000,0.1
+fig3,10% update,SpRWL,8,80,1000,80.000,0.2
+fig3,10% update,TLE,1,9,1000,9.000,0.5
+fig3,10% update,TLE,8,10,1000,10.000,0.9
+fig3,50% update,SpRWL,1,12,1000,12.000,0.1
+`
+
+func TestParseCSVGroupsAndSorts(t *testing.T) {
+	charts, err := ParseCSV(strings.NewReader(sampleCSV), "throughput_ops_per_mcycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != 2 {
+		t.Fatalf("got %d charts, want 2 sections", len(charts))
+	}
+	c := charts[0]
+	if c.Figure != "fig3" || c.Section != "10% update" {
+		t.Fatalf("chart 0 = %s/%s", c.Figure, c.Section)
+	}
+	if len(c.Series) != 2 {
+		t.Fatalf("chart 0 has %d series, want 2", len(c.Series))
+	}
+	// Algorithms sorted; thread points ascending.
+	if c.Series[0].Algo != "SpRWL" || c.Series[1].Algo != "TLE" {
+		t.Fatalf("series order: %s, %s", c.Series[0].Algo, c.Series[1].Algo)
+	}
+	if c.Series[0].X[0] != 1 || c.Series[0].X[1] != 8 {
+		t.Fatalf("thread order: %v", c.Series[0].X)
+	}
+	if c.Series[0].Y[1] != 80 {
+		t.Fatalf("SpRWL@8 = %f, want 80", c.Series[0].Y[1])
+	}
+}
+
+func TestParseCSVOtherMetric(t *testing.T) {
+	charts, err := ParseCSV(strings.NewReader(sampleCSV), "abort_rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := charts[0].Series[1].Y[1]; got != 0.9 {
+		t.Fatalf("TLE@8 abort_rate = %f, want 0.9", got)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ParseCSV(strings.NewReader(sampleCSV), "nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	bad := "figure,section,algo,threads,throughput_ops_per_mcycle\nf,s,a,notanint,1.0\n"
+	if _, err := ParseCSV(strings.NewReader(bad), "throughput_ops_per_mcycle"); err == nil {
+		t.Fatal("bad threads accepted")
+	}
+}
+
+func TestRenderContainsSeriesAndBars(t *testing.T) {
+	charts, err := ParseCSV(strings.NewReader(sampleCSV), "throughput_ops_per_mcycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	charts[0].Render(&b)
+	out := b.String()
+	for _, want := range []string{"fig3", "SpRWL", "TLE", "#", "threads:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("Sparkline(nil) = %q", got)
+	}
+	flat := Sparkline([]float64{0, 0, 0})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+	s := Sparkline([]float64{1, 4, 8})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("sparkline length %d, want 3", len(runes))
+	}
+	if runes[0] >= runes[2] {
+		t.Fatalf("sparkline not increasing: %q", s)
+	}
+	if runes[2] != '█' {
+		t.Fatalf("max value not full block: %q", s)
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if bar(0, 10, 8) != "" {
+		t.Fatal("zero value produced a bar")
+	}
+	if got := bar(0.1, 10, 8); got != "#" {
+		t.Fatalf("tiny nonzero value = %q, want minimal bar", got)
+	}
+	if got := bar(100, 10, 8); len(got) != 8 {
+		t.Fatalf("overflow bar length %d, want clamped to 8", len(got))
+	}
+	if bar(5, 0, 8) != "" {
+		t.Fatal("zero max produced a bar")
+	}
+}

@@ -1,0 +1,250 @@
+// Package rwle implements Hardware Read-Write Lock Elision (RW-LE) of
+// Felber, Issa, Matveev and Romano (EuroSys '16), the closest related work
+// the paper compares against (§2, evaluated on POWER8 in Figs. 3, 4, 7).
+//
+// Like SpRWL, RW-LE executes read-only critical sections uninstrumented.
+// Unlike SpRWL, it relies on two POWER8-only hardware features:
+//
+//   - suspend/resume: a writer suspends its transaction just before
+//     committing and performs a *quiescence phase* — waiting for every
+//     reader that was active at that moment to finish — then resumes and
+//     commits. Readers advertise themselves with per-thread epoch counters
+//     (odd = inside a critical section), so quiescence is a snapshot of odd
+//     epochs and a wait for each to advance.
+//   - rollback-only transactions (ROTs): after the HTM budget is exhausted,
+//     writers retry as ROTs, which track only their write set (no read
+//     capacity, no read-conflict aborts). ROTs provide no isolation among
+//     themselves, so ROT writers are serialized by a writer lock — the
+//     serialization visible in the paper's RW-LE commit breakdowns.
+//
+// The quiescence phase is what the paper blames for RW-LE's large writer
+// latencies under long readers (Fig. 3): a writer cannot commit while any
+// pre-existing reader is still running, and every arriving reader that
+// touches a written line aborts the writer outright.
+package rwle
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/locks"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+)
+
+const (
+	// DefaultHTMRetries is the hardware attempt budget before the ROT
+	// path activates.
+	DefaultHTMRetries = 10
+	// DefaultROTRetries is the ROT attempt budget before the global-lock
+	// fallback, the value the RW-LE authors (and the paper's §4) use.
+	DefaultROTRetries = 5
+)
+
+// RWLE is a hardware read-write lock-elision lock.
+type RWLE struct {
+	e          env.Env
+	threads    int
+	epochs     memmodel.Addr // per-thread line: odd = reader active
+	wlock      locks.SpinMutex
+	gl         locks.SpinMutex
+	htmRetries int
+	rotRetries int
+	col        *stats.Collector
+}
+
+var _ rwlock.Lock = (*RWLE)(nil)
+
+// New carves an RW-LE lock out of the arena. Non-positive budgets select
+// the defaults; col may be nil.
+func New(e env.Env, ar *memmodel.Arena, threads, htmRetries, rotRetries int, col *stats.Collector) *RWLE {
+	if htmRetries <= 0 {
+		htmRetries = DefaultHTMRetries
+	}
+	if rotRetries <= 0 {
+		rotRetries = DefaultROTRetries
+	}
+	return &RWLE{
+		e:          e,
+		threads:    threads,
+		epochs:     ar.AllocLines(threads),
+		wlock:      locks.NewSpinMutex(e, ar.AllocLines(1)),
+		gl:         locks.NewSpinMutex(e, ar.AllocLines(1)),
+		htmRetries: htmRetries,
+		rotRetries: rotRetries,
+		col:        col,
+	}
+}
+
+// Name implements rwlock.Lock.
+func (*RWLE) Name() string { return "RW-LE" }
+
+// NewHandle implements rwlock.Lock.
+func (l *RWLE) NewHandle(slot int) rwlock.Handle { return &handle{l: l, slot: slot} }
+
+func (l *RWLE) epochAddr(i int) memmodel.Addr {
+	return l.epochs + memmodel.Addr(i*memmodel.LineWords)
+}
+
+type handle struct {
+	l    *RWLE
+	slot int
+}
+
+// Read runs the critical section uninstrumented between epoch bumps,
+// synchronizing with the global-lock fallback exactly like SpRWL's readers:
+// advertise, check the lock, retract and wait if it is held.
+func (h *handle) Read(csID int, body rwlock.Body) {
+	l := h.l
+	start := l.e.Now()
+	ea := l.epochAddr(h.slot)
+	for {
+		l.e.Add(ea, 1) // odd: active
+		if !l.gl.IsLocked() {
+			break
+		}
+		l.e.Add(ea, 1) // even: retract
+		for l.gl.IsLocked() {
+			l.e.Yield()
+		}
+	}
+	body(l.e)
+	l.e.Add(ea, 1) // even: done
+	if l.col != nil {
+		t := l.col.Thread(h.slot)
+		t.Commit(stats.Reader, env.ModeUninstrumented)
+		t.Latency(stats.Reader, l.e.Now()-start)
+	}
+}
+
+// Write tries HTM, then serialized ROTs, then the global lock. Both
+// hardware modes suspend before committing and wait for the quiescence of
+// all readers active at that instant.
+func (h *handle) Write(csID int, body rwlock.Body) {
+	l := h.l
+	start := l.e.Now()
+	glAddr := l.gl.Addr()
+
+	wlockAddr := l.wlock.Addr()
+	attempt := func(rot bool) env.AbortCause {
+		return l.e.Attempt(h.slot, env.TxOpts{ROT: rot}, func(tx env.TxAccessor) {
+			if tx.Load(glAddr) != 0 {
+				tx.Abort(env.AbortExplicit)
+			}
+			if !rot && tx.Load(wlockAddr) != 0 {
+				// A ROT (or fallback) writer is active. Its loads
+				// are untracked, so hardware conflict detection
+				// cannot order us against it — subscribing to the
+				// writer lock is what makes ROT serialization
+				// safe against concurrent HTM writers. (A ROT
+				// itself holds this lock, and its subscription
+				// load would be untracked anyway.)
+				tx.Abort(env.AbortExplicit)
+			}
+			body(tx)
+			if !tx.Suspend(func() { h.quiesceReaders(tx) }) {
+				tx.Abort(env.AbortConflict)
+			}
+		})
+	}
+
+	for attempts := 0; attempts < l.htmRetries; attempts++ {
+		for l.gl.IsLocked() || l.wlock.IsLocked() {
+			l.e.Yield()
+		}
+		cause := attempt(false)
+		if cause == env.Committed {
+			h.finish(stats.Writer, env.ModeHTM, start)
+			return
+		}
+		h.abort(cause)
+		if cause == env.AbortCapacity {
+			break
+		}
+	}
+
+	// ROT path: serialized among writers, unlimited read footprint.
+	l.wlock.Lock()
+	for attempts := 0; attempts < l.rotRetries; attempts++ {
+		for l.gl.IsLocked() {
+			l.e.Yield()
+		}
+		cause := attempt(true)
+		if cause == env.Committed {
+			l.wlock.Unlock()
+			h.finish(stats.Writer, env.ModeROT, start)
+			return
+		}
+		h.abort(cause)
+		if cause == env.AbortCapacity {
+			break
+		}
+	}
+
+	// Global-lock fallback: wait out every active reader, then run
+	// pessimistically. We still hold wlock, keeping ROT writers out.
+	l.gl.Lock()
+	h.drainReaders()
+	body(l.e)
+	l.gl.Unlock()
+	l.wlock.Unlock()
+	h.finish(stats.Writer, env.ModeGL, start)
+}
+
+// quiesceReaders runs inside the suspended section: snapshot every thread's
+// epoch and wait for all odd (active) ones to advance. Bails out as soon as
+// the suspended transaction is doomed — a reader touched our write set, so
+// waiting longer is pointless.
+func (h *handle) quiesceReaders(tx env.TxAccessor) {
+	l := h.l
+	for i := 0; i < l.threads; i++ {
+		if i == h.slot {
+			continue
+		}
+		ea := l.epochAddr(i)
+		snap := l.e.Load(ea)
+		if snap%2 == 0 {
+			continue
+		}
+		for l.e.Load(ea) == snap {
+			if tx.Aborted() {
+				return
+			}
+			l.e.Yield()
+		}
+	}
+}
+
+// drainReaders is the fallback-path wait: with the global lock held, new
+// readers retract and wait, so waiting for each current epoch to advance
+// (or be even) terminates.
+func (h *handle) drainReaders() {
+	l := h.l
+	for i := 0; i < l.threads; i++ {
+		if i == h.slot {
+			continue
+		}
+		ea := l.epochAddr(i)
+		snap := l.e.Load(ea)
+		if snap%2 == 0 {
+			continue
+		}
+		for l.e.Load(ea) == snap {
+			l.e.Yield()
+		}
+	}
+}
+
+func (h *handle) abort(c env.AbortCause) {
+	if h.l.col != nil {
+		h.l.col.Thread(h.slot).Abort(stats.Writer, c)
+	}
+}
+
+func (h *handle) finish(k stats.Kind, m env.CommitMode, start uint64) {
+	if h.l.col == nil {
+		return
+	}
+	t := h.l.col.Thread(h.slot)
+	t.Commit(k, m)
+	t.Latency(k, h.l.e.Now()-start)
+}

@@ -1,0 +1,91 @@
+// Conformance runs of every lock implementation in the repository against
+// the shared rwlock contract suite.
+package rwlocktest
+
+import (
+	"testing"
+
+	"sprwl/internal/core"
+	"sprwl/internal/env"
+	"sprwl/internal/htm"
+	"sprwl/internal/locks"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwle"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/tle"
+)
+
+func coreFactory(opts func() core.Options) Factory {
+	return func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+		return core.MustNew(e, ar, threads, 4, opts(), nil)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	factories := map[string]Factory{
+		"SpRWL":         coreFactory(core.DefaultOptions),
+		"SpRWL-NoSched": coreFactory(core.NoSchedOptions),
+		"SpRWL-RWait":   coreFactory(core.RWaitOptions),
+		"SpRWL-RSync":   coreFactory(core.RSyncOptions),
+		"SpRWL-SNZI":    coreFactory(core.SNZIOptions),
+		"SpRWL-Auto":    coreFactory(core.AutoSNZIOptions),
+		"SpRWL-VSGL": coreFactory(func() core.Options {
+			o := core.DefaultOptions()
+			o.VersionedSGL = true
+			return o
+		}),
+		"SpRWL-NoHTMFirst": coreFactory(func() core.Options {
+			o := core.DefaultOptions()
+			o.ReaderHTMFirst = false
+			return o
+		}),
+		"TLE": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return tle.New(e, ar, 0, nil)
+		},
+		"RW-LE": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return rwle.New(e, ar, threads, 0, 0, nil)
+		},
+		"RWL": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return locks.NewRWL(e, ar, nil)
+		},
+		"BRLock": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return locks.NewBRLock(e, ar, threads, nil)
+		},
+		"PFRWL": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return locks.NewPFRWL(e, ar, nil)
+		},
+		"PRWL": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return locks.NewPRWL(e, ar, threads, nil)
+		},
+		"MCS-RW": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return locks.NewMCSRW(e, ar, threads, nil)
+		},
+	}
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			Run(t, f, Config{})
+		})
+	}
+}
+
+// TestConformanceUnderCapacityPressure re-runs the suite with a tiny HTM
+// capacity, forcing every algorithm through its fallback machinery.
+func TestConformanceUnderCapacityPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity-pressure conformance is slow under -short")
+	}
+	factories := map[string]Factory{
+		"SpRWL": coreFactory(core.DefaultOptions),
+		"TLE": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return tle.New(e, ar, 0, nil)
+		},
+		"RW-LE": func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+			return rwle.New(e, ar, threads, 0, 0, nil)
+		},
+	}
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			Run(t, f, Config{HTMConfig: htm.Config{ReadCapacityLines: 3, WriteCapacityLines: 3}})
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Package rwlocktest is a reusable conformance suite for rwlock.Lock
+// implementations. Every lock in this repository — SpRWL and all its
+// variants, TLE, RW-LE, and the pessimistic baselines — must pass it; the
+// per-package tests invoke Run with a factory.
+//
+// The suite checks the read-write lock contract, not performance:
+//
+//   - writer-writer mutual exclusion (no lost updates under read-modify-
+//     write storms);
+//   - reader isolation (a reader never observes a writer's partial update);
+//   - read-read concurrency (two readers must be able to overlap);
+//   - writer progress under a continuous stream of readers;
+//   - reader progress under a continuous stream of writers;
+//   - body retry discipline (bodies may run multiple times, but effects
+//     commit exactly once).
+package rwlocktest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sprwl/internal/env"
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+)
+
+// Factory builds the lock under test over the given environment, carving
+// state from ar, for the given thread count.
+type Factory func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock
+
+// Config tunes the suite.
+type Config struct {
+	// Threads is the worker count used by the concurrent checks
+	// (default 4, minimum 2).
+	Threads int
+	// Rounds scales the iteration counts (default 150).
+	Rounds int
+	// HTMConfig overrides the space configuration (Threads/Words are
+	// always set by the suite).
+	HTMConfig htm.Config
+}
+
+func (c *Config) defaults() {
+	if c.Threads < 2 {
+		c.Threads = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 150
+	}
+}
+
+// Run executes the full conformance suite against the factory.
+func Run(t *testing.T, f Factory, cfg Config) {
+	cfg.defaults()
+	t.Run("WriterMutualExclusion", func(t *testing.T) { writerMutualExclusion(t, f, cfg) })
+	t.Run("ReaderIsolation", func(t *testing.T) { readerIsolation(t, f, cfg) })
+	t.Run("ReadersOverlap", func(t *testing.T) { readersOverlap(t, f, cfg) })
+	t.Run("WriterProgressUnderReaders", func(t *testing.T) { writerProgress(t, f, cfg) })
+	t.Run("ReaderProgressUnderWriters", func(t *testing.T) { readerProgress(t, f, cfg) })
+	t.Run("EffectsCommitExactlyOnce", func(t *testing.T) { effectsOnce(t, f, cfg) })
+}
+
+// build sets up a fresh environment and lock.
+func build(t *testing.T, f Factory, cfg Config) (rwlock.Lock, env.Env, *memmodel.Arena) {
+	t.Helper()
+	hc := cfg.HTMConfig
+	hc.Threads = cfg.Threads
+	if hc.Words == 0 {
+		hc.Words = 1 << 15
+	}
+	space, err := htm.NewSpace(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := htm.NewRuntime(space, nil)
+	ar := memmodel.NewArena(0, space.Size())
+	l := f(e, ar, cfg.Threads) // lock state first, test data after
+	return l, e, ar
+}
+
+func writerMutualExclusion(t *testing.T, f Factory, cfg Config) {
+	l, e, ar := build(t, f, cfg)
+	ctr := ar.AllocLines(1)
+	var wg sync.WaitGroup
+	for slot := 0; slot < cfg.Threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.NewHandle(slot)
+			for i := 0; i < cfg.Rounds; i++ {
+				h.Write(0, func(acc memmodel.Accessor) {
+					v := acc.Load(ctr)
+					runtime.Gosched() // widen any exclusion hole
+					acc.Store(ctr, v+1)
+				})
+			}
+		}(slot)
+	}
+	wg.Wait()
+	if got, want := e.Load(ctr), uint64(cfg.Threads*cfg.Rounds); got != want {
+		t.Fatalf("%s: counter = %d, want %d (lost updates)", l.Name(), got, want)
+	}
+}
+
+func readerIsolation(t *testing.T, f Factory, cfg Config) {
+	l, _, ar := build(t, f, cfg)
+	x, y := ar.AllocLines(1), ar.AllocLines(1)
+	var wg sync.WaitGroup
+	for slot := 0; slot < cfg.Threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.NewHandle(slot)
+			for i := 0; i < cfg.Rounds; i++ {
+				if slot == 0 {
+					h.Write(0, func(acc memmodel.Accessor) {
+						v := acc.Load(x) + 1
+						acc.Store(x, v)
+						runtime.Gosched()
+						acc.Store(y, v)
+					})
+				} else {
+					h.Read(1, func(acc memmodel.Accessor) {
+						vx, vy := acc.Load(x), acc.Load(y)
+						if vx != vy {
+							t.Errorf("%s: torn read %d vs %d", l.Name(), vx, vy)
+						}
+					})
+				}
+			}
+		}(slot)
+	}
+	wg.Wait()
+}
+
+func readersOverlap(t *testing.T, f Factory, cfg Config) {
+	l, _, _ := build(t, f, cfg)
+	var active, maxActive atomic.Int64
+	var wg sync.WaitGroup
+	for slot := 0; slot < cfg.Threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.NewHandle(slot)
+			for i := 0; i < cfg.Rounds*2 && maxActive.Load() < 2; i++ {
+				h.Read(0, func(acc memmodel.Accessor) {
+					n := active.Add(1)
+					for o := maxActive.Load(); n > o; o = maxActive.Load() {
+						if maxActive.CompareAndSwap(o, n) {
+							break
+						}
+					}
+					runtime.Gosched()
+					active.Add(-1)
+				})
+			}
+		}(slot)
+	}
+	wg.Wait()
+	if maxActive.Load() < 2 {
+		t.Fatalf("%s: readers never overlapped", l.Name())
+	}
+}
+
+func writerProgress(t *testing.T, f Factory, cfg Config) {
+	l, _, _ := build(t, f, cfg)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for slot := 1; slot < cfg.Threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.NewHandle(slot)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Read(0, func(acc memmodel.Accessor) {})
+			}
+		}(slot)
+	}
+	h := l.NewHandle(0)
+	for i := 0; i < 30; i++ { // the test timeout is the starvation detector
+		h.Write(1, func(acc memmodel.Accessor) {})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func readerProgress(t *testing.T, f Factory, cfg Config) {
+	l, _, ar := build(t, f, cfg)
+	data := ar.AllocLines(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for slot := 1; slot < cfg.Threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.NewHandle(slot)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Write(0, func(acc memmodel.Accessor) { acc.Store(data, uint64(i)) })
+			}
+		}(slot)
+	}
+	h := l.NewHandle(0)
+	for i := 0; i < 30; i++ {
+		h.Read(1, func(acc memmodel.Accessor) { _ = acc.Load(data) })
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func effectsOnce(t *testing.T, f Factory, cfg Config) {
+	// Force heavy retrying via spurious aborts: every committed section's
+	// effect must still apply exactly once.
+	cfg.HTMConfig.SpuriousEvery = 7
+	l, e, ar := build(t, f, cfg)
+	ctr := ar.AllocLines(1)
+	var wg sync.WaitGroup
+	for slot := 0; slot < cfg.Threads; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.NewHandle(slot)
+			for i := 0; i < cfg.Rounds; i++ {
+				h.Write(0, func(acc memmodel.Accessor) {
+					acc.Store(ctr, acc.Load(ctr)+1)
+				})
+			}
+		}(slot)
+	}
+	wg.Wait()
+	if got, want := e.Load(ctr), uint64(cfg.Threads*cfg.Rounds); got != want {
+		t.Fatalf("%s: counter = %d, want %d (re-executed effects leaked)", l.Name(), got, want)
+	}
+}

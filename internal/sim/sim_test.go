@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"testing"
+
+	"sprwl/internal/env"
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+)
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Config{Threads: 0, Words: 64}); err == nil {
+		t.Fatal("NewEngine accepted zero threads")
+	}
+	if _, err := NewEngine(Config{Threads: htm.MaxThreads + 1, Words: 64}); err == nil {
+		t.Fatal("NewEngine accepted too many threads")
+	}
+	if _, err := NewEngine(Config{Threads: 1, Words: 0}); err == nil {
+		t.Fatal("NewEngine accepted zero words")
+	}
+}
+
+func TestSingleThreadCostAccounting(t *testing.T) {
+	eng := MustNewEngine(Config{Threads: 1, Words: 1 << 10})
+	e := eng.Env()
+	c := DefaultCosts()
+	final := eng.Run(func(slot int) {
+		_ = e.Load(0)  // miss
+		_ = e.Load(1)  // same line: hit
+		e.Store(0, 1)  // store-miss (line shared state upgraded)
+		e.Store(1, 2)  // store-hit (exclusively ours now)
+		_ = e.Load(64) // other line: miss
+	})
+	want := c.LoadMiss + c.LoadHit + c.StoreMiss + c.StoreHit + c.LoadMiss
+	if final != want {
+		t.Fatalf("final virtual time = %d, want %d", final, want)
+	}
+}
+
+func TestCoherencePingPongCostsMore(t *testing.T) {
+	// Two threads hammering one line must accumulate far more virtual
+	// time per op than two threads on private lines.
+	run := func(shared bool) uint64 {
+		eng := MustNewEngine(Config{Threads: 2, Words: 1 << 10})
+		e := eng.Env()
+		return eng.Run(func(slot int) {
+			a := memmodel.Addr(0)
+			if !shared {
+				a = memmodel.Addr(slot * memmodel.LineWords)
+			}
+			for i := 0; i < 500; i++ {
+				e.Store(a, uint64(i))
+			}
+		})
+	}
+	sharedVT := run(true)
+	privateVT := run(false)
+	if sharedVT < 3*privateVT {
+		t.Fatalf("shared-line time %d not clearly above private-line time %d", sharedVT, privateVT)
+	}
+}
+
+func TestVirtualTimeInterleavesFairly(t *testing.T) {
+	// Threads doing identical work must end at (nearly) identical
+	// virtual times, far from the serialized sum.
+	const threads = 8
+	eng := MustNewEngine(Config{Threads: threads, Words: 1 << 12})
+	e := eng.Env()
+	var ends [threads]uint64
+	final := eng.Run(func(slot int) {
+		a := memmodel.Addr(slot * memmodel.LineWords)
+		for i := 0; i < 1000; i++ {
+			e.Store(a, uint64(i))
+		}
+		ends[slot] = e.Now()
+	})
+	for i := 1; i < threads; i++ {
+		if ends[i] != ends[0] {
+			t.Fatalf("thread %d ended at %d, thread 0 at %d — identical work must take identical virtual time", i, ends[i], ends[0])
+		}
+	}
+	if final != ends[0] {
+		t.Fatalf("final time %d != per-thread end %d: parallel work was serialized", final, ends[0])
+	}
+}
+
+func TestWaitUntilAdvancesClock(t *testing.T) {
+	eng := MustNewEngine(Config{Threads: 1, Words: 1 << 10})
+	e := eng.Env()
+	eng.Run(func(slot int) {
+		e.WaitUntil(12345)
+		if now := e.Now(); now != 12345 {
+			t.Errorf("Now() = %d after WaitUntil(12345)", now)
+		}
+		e.WaitUntil(100) // already past: no-op
+		if now := e.Now(); now != 12345 {
+			t.Errorf("Now() = %d after stale WaitUntil", now)
+		}
+	})
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The same program must produce identical virtual times and final
+	// memory across runs — the property EXPERIMENTS.md relies on.
+	const ctr = memmodel.Addr(20 * memmodel.LineWords) // clear of the per-slot lines
+	run := func() (uint64, uint64) {
+		eng := MustNewEngine(Config{Threads: 4, Words: 1 << 12})
+		e := eng.Env()
+		final := eng.Run(func(slot int) {
+			for i := 0; i < 300; i++ {
+				switch i % 3 {
+				case 0:
+					e.Add(ctr, 1)
+				case 1:
+					_ = e.Load(memmodel.Addr((slot + 1) * memmodel.LineWords))
+				case 2:
+					e.Store(memmodel.Addr(slot*memmodel.LineWords), uint64(i))
+				}
+			}
+		})
+		return final, eng.Space().Load(ctr)
+	}
+	t1, v1 := run()
+	t2, v2 := run()
+	if t1 != t2 || v1 != v2 {
+		t.Fatalf("replay diverged: (%d,%d) vs (%d,%d)", t1, v1, t2, v2)
+	}
+	if v1 != 4*100 {
+		t.Fatalf("counter = %d, want 400", v1)
+	}
+}
+
+func TestTransactionsUnderSimulation(t *testing.T) {
+	const threads = 4
+	eng := MustNewEngine(Config{Threads: threads, Words: 1 << 12})
+	e := eng.Env()
+	eng.Run(func(slot int) {
+		for i := 0; i < 200; i++ {
+			for e.Attempt(slot, env.TxOpts{}, func(tx env.TxAccessor) {
+				tx.Store(0, tx.Load(0)+1)
+			}) != env.Committed {
+				e.Yield()
+			}
+		}
+	})
+	if got := eng.Space().Load(0); got != threads*200 {
+		t.Fatalf("counter = %d, want %d", got, threads*200)
+	}
+}
+
+func TestTransactionAbortChargesPenalty(t *testing.T) {
+	eng := MustNewEngine(Config{Threads: 1, Words: 1 << 10})
+	e := eng.Env()
+	c := DefaultCosts()
+	final := eng.Run(func(slot int) {
+		cause := e.Attempt(slot, env.TxOpts{}, func(tx env.TxAccessor) {
+			tx.Abort(env.AbortExplicit)
+		})
+		if cause != env.AbortExplicit {
+			t.Errorf("cause = %v, want AbortExplicit", cause)
+		}
+	})
+	if final != c.TxBegin+c.TxAbort {
+		t.Fatalf("final time = %d, want begin+abort = %d", final, c.TxBegin+c.TxAbort)
+	}
+}
+
+func TestProfileCapacityApplied(t *testing.T) {
+	// With the POWER8 profile at 1 thread, a transaction reading more
+	// than its 128-line capacity must abort with capacity.
+	eng := MustNewEngine(Config{Threads: 1, Words: 1 << 14, Profile: htm.Power8()})
+	e := eng.Env()
+	eng.Run(func(slot int) {
+		cause := e.Attempt(slot, env.TxOpts{}, func(tx env.TxAccessor) {
+			for i := 0; i < 200; i++ {
+				_ = tx.Load(memmodel.Addr(i * memmodel.LineWords))
+			}
+		})
+		if cause != env.AbortCapacity {
+			t.Errorf("cause = %v, want AbortCapacity", cause)
+		}
+	})
+}
+
+func TestSMTSharingShrinksCapacity(t *testing.T) {
+	// At 80 threads on POWER8 (8 per core), effective capacity is 1/8th:
+	// a 20-line read set must overflow (128/8 = 16).
+	eng := MustNewEngine(Config{Threads: 64, Words: 1 << 14, Profile: htm.Power8()})
+	e := eng.Env()
+	var sawCapacity bool
+	eng.Run(func(slot int) {
+		if slot != 0 {
+			return
+		}
+		cause := e.Attempt(slot, env.TxOpts{}, func(tx env.TxAccessor) {
+			for i := 0; i < 20; i++ {
+				_ = tx.Load(memmodel.Addr(i * memmodel.LineWords))
+			}
+		})
+		sawCapacity = cause == env.AbortCapacity
+	})
+	if !sawCapacity {
+		t.Fatal("64 threads on POWER8: 20-line read set did not overflow the SMT-shared capacity")
+	}
+}
+
+// TestStreamingRegionAlwaysMisses: lines marked as bulk data never hit the
+// private-cache model beyond the direct-mapped window, while unmarked lines
+// become cheap after first touch.
+func TestStreamingRegionAlwaysMisses(t *testing.T) {
+	c := DefaultCosts()
+	// Two engines: one with the region marked streaming, one without.
+	run := func(mark bool) uint64 {
+		eng := MustNewEngine(Config{Threads: 1, Words: 1 << 16})
+		if mark {
+			eng.MarkStreaming(0, 1<<16)
+		}
+		e := eng.Env()
+		return eng.Run(func(slot int) {
+			// Touch far more distinct lines than the private cache
+			// holds, twice.
+			span := int(2 * DefaultCosts().StreamCacheLines)
+			for pass := 0; pass < 2; pass++ {
+				for i := 0; i < span; i++ {
+					_ = e.Load(memmodel.Addr(i * memmodel.LineWords))
+				}
+			}
+		})
+	}
+	marked := run(true)
+	unmarked := run(false)
+	// Unmarked: second pass is all hits (sharer model). Marked: the
+	// direct-mapped cache thrashes, so most accesses miss both passes.
+	span := uint64(2 * c.StreamCacheLines)
+	wantUnmarked := span*c.LoadMiss + span*c.LoadHit
+	if unmarked != wantUnmarked {
+		t.Fatalf("unmarked cost = %d, want %d", unmarked, wantUnmarked)
+	}
+	if marked <= unmarked {
+		t.Fatalf("streaming region (%d cycles) not costlier than cached region (%d)", marked, unmarked)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	eng := MustNewEngine(Config{Threads: 1, Words: 1 << 10})
+	eng.Run(func(slot int) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	eng.Run(func(slot int) {})
+}
+
+func TestProvisioningBeforeRunIsFree(t *testing.T) {
+	eng := MustNewEngine(Config{Threads: 1, Words: 1 << 10})
+	e := eng.Env()
+	e.Store(0, 42) // before Run: charged to no one
+	final := eng.Run(func(slot int) {
+		if got := e.Load(0); got != 42 {
+			t.Errorf("provisioned value = %d, want 42", got)
+		}
+	})
+	if want := DefaultCosts().LoadMiss; final != want {
+		t.Fatalf("final time = %d, want only the worker's single load (%d)", final, want)
+	}
+}

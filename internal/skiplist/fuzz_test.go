@@ -1,0 +1,74 @@
+package skiplist
+
+import (
+	"testing"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+)
+
+// FuzzOpsAgainstModel interprets the fuzz input as an operation script and
+// cross-checks the skiplist against a Go map model, including ordered range
+// queries.
+//
+// Seed corpus plus `go test -fuzz=FuzzOpsAgainstModel ./internal/skiplist`.
+func FuzzOpsAgainstModel(f *testing.F) {
+	f.Add([]byte{0x00, 0x05, 0x01, 0x05, 0x03, 0x00, 0x02, 0x05})
+	f.Add([]byte{0x00, 0x01, 0x00, 0x02, 0x00, 0x03, 0x03, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		space := htm.MustNewSpace(htm.Config{Threads: 1, Words: 1 << 17})
+		ar := memmodel.NewArena(0, space.Size())
+		pool := alloc.NewPool(ar, NodeWords, 1)
+		l := New(ar, pool)
+		model := map[uint64]uint64{}
+
+		for i := 0; i+1 < len(script) && i < 400; i += 2 {
+			op, keyB := script[i], script[i+1]
+			key := uint64(keyB % 32)
+			switch op % 4 {
+			case 0: // upsert
+				val := uint64(op)<<8 | uint64(keyB) | 1
+				node := pool.Get(0)
+				if !l.Insert(space, key, val, node) {
+					pool.Put(0, node)
+				}
+				model[key] = val
+			case 1: // delete
+				node := l.Delete(space, key)
+				_, inModel := model[key]
+				if (node != 0) != inModel {
+					t.Fatalf("Delete(%d) presence mismatch", key)
+				}
+				if node != 0 {
+					pool.Put(0, node)
+					delete(model, key)
+				}
+			case 2: // get
+				v, ok := l.Get(space, key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("Get(%d) = %d,%v, model %d,%v", key, v, ok, mv, mok)
+				}
+			case 3: // range
+				lo := key
+				hi := lo + uint64(op%8)
+				count, sum := l.Range(space, lo, hi)
+				wc, ws := 0, uint64(0)
+				for k, v := range model {
+					if k >= lo && k < hi {
+						wc++
+						ws += v
+					}
+				}
+				if count != wc || sum != ws {
+					t.Fatalf("Range(%d,%d) = %d,%d, model %d,%d", lo, hi, count, sum, wc, ws)
+				}
+			}
+		}
+		if got := l.Len(space); got != len(model) {
+			t.Fatalf("Len = %d, model holds %d", got, len(model))
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package skiplist implements an ordered map with range scans over
+// simulated memory — the "range queries and long traversals" workload the
+// paper's introduction motivates SpRWL with (§1).
+//
+// The list is a classic single-writer skiplist: mutual exclusion between
+// writers (and writer/reader isolation) comes from the enclosing read-write
+// lock, so the structure itself needs no internal synchronization. Two
+// properties matter for lock-elision workloads:
+//
+//   - Node heights are a deterministic function of the key (a hash's
+//     trailing zeros), not of an RNG: a transactionally retried insert
+//     replays identically, and a key's tower shape never depends on
+//     interleaving.
+//   - Range scans touch one line per visited node, so scan length directly
+//     sets the reader's HTM footprint — long scans overflow any capacity
+//     profile and exercise SpRWL's uninstrumented reader path.
+package skiplist
+
+import (
+	"fmt"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/memmodel"
+)
+
+const (
+	// MaxHeight bounds node towers; 12 levels index ~4k nodes with the
+	// usual p = 1/2 geometric distribution.
+	MaxHeight = 12
+
+	nodeKey    = 0
+	nodeVal    = 1
+	nodeHeight = 2
+	nodeNext   = 3 // nodeNext + level
+
+	// NodeWords is the (maximum) node footprint: header plus MaxHeight
+	// next pointers, rounded up to whole lines by the pool.
+	NodeWords = nodeNext + MaxHeight
+)
+
+// List is a skiplist in simulated memory.
+type List struct {
+	head memmodel.Addr // a full-height tower; key slot unused
+	pool *alloc.Pool
+}
+
+// Words returns the head tower's footprint.
+func Words() int {
+	return (NodeWords + memmodel.LineWords - 1) / memmodel.LineWords * memmodel.LineWords
+}
+
+// New carves the head tower out of ar; nodes come from pool, whose blocks
+// must hold NodeWords. The head region must read zero (empty list).
+func New(ar *memmodel.Arena, pool *alloc.Pool) *List {
+	if pool.BlockWords() < NodeWords {
+		panic(fmt.Sprintf("skiplist: pool blocks of %d words are smaller than a node (%d)", pool.BlockWords(), NodeWords))
+	}
+	head := ar.AllocWords(Words())
+	if head == 0 {
+		head = ar.AllocWords(Words()) // reserve address 0 as nil
+	}
+	return &List{head: head, pool: pool}
+}
+
+// height returns the deterministic tower height for key.
+func height(key uint64) int {
+	x := key
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	h := 1
+	for x&1 == 1 && h < MaxHeight {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// findPredecessors fills pred with the rightmost node at each level whose
+// key is < key, and returns the candidate node at level 0 (which may be the
+// match).
+func (l *List) findPredecessors(acc memmodel.Accessor, key uint64, pred *[MaxHeight]memmodel.Addr) memmodel.Addr {
+	n := l.head
+	for lv := MaxHeight - 1; lv >= 0; lv-- {
+		for {
+			next := acc.Load(n + nodeNext + memmodel.Addr(lv))
+			if next == 0 || acc.Load(memmodel.Addr(next)+nodeKey) >= key {
+				break
+			}
+			n = memmodel.Addr(next)
+		}
+		pred[lv] = n
+	}
+	return memmodel.Addr(acc.Load(pred[0] + nodeNext))
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(acc memmodel.Accessor, key uint64) (uint64, bool) {
+	var pred [MaxHeight]memmodel.Addr
+	cand := l.findPredecessors(acc, key, &pred)
+	if cand != 0 && acc.Load(cand+nodeKey) == key {
+		return acc.Load(cand + nodeVal), true
+	}
+	return 0, false
+}
+
+// Insert puts (key, val) into the list using the pre-allocated node,
+// returning false (node unused — the caller should recycle it) if the key
+// already exists, in which case the value is updated in place.
+func (l *List) Insert(acc memmodel.Accessor, key, val uint64, node memmodel.Addr) bool {
+	var pred [MaxHeight]memmodel.Addr
+	cand := l.findPredecessors(acc, key, &pred)
+	if cand != 0 && acc.Load(cand+nodeKey) == key {
+		acc.Store(cand+nodeVal, val)
+		return false
+	}
+	h := height(key)
+	acc.Store(node+nodeKey, key)
+	acc.Store(node+nodeVal, val)
+	acc.Store(node+nodeHeight, uint64(h))
+	for lv := 0; lv < h; lv++ {
+		acc.Store(node+nodeNext+memmodel.Addr(lv), acc.Load(pred[lv]+nodeNext+memmodel.Addr(lv)))
+		acc.Store(pred[lv]+nodeNext+memmodel.Addr(lv), uint64(node))
+	}
+	return true
+}
+
+// Delete removes key and returns its node for recycling (after the
+// enclosing critical section commits), or 0 if absent.
+func (l *List) Delete(acc memmodel.Accessor, key uint64) memmodel.Addr {
+	var pred [MaxHeight]memmodel.Addr
+	cand := l.findPredecessors(acc, key, &pred)
+	if cand == 0 || acc.Load(cand+nodeKey) != key {
+		return 0
+	}
+	h := int(acc.Load(cand + nodeHeight))
+	for lv := 0; lv < h; lv++ {
+		next := acc.Load(cand + nodeNext + memmodel.Addr(lv))
+		acc.Store(pred[lv]+nodeNext+memmodel.Addr(lv), next)
+	}
+	return cand
+}
+
+// Range visits keys in [lo, hi) in order and returns their count and value
+// sum — the long read-only traversal of the motivating workload.
+func (l *List) Range(acc memmodel.Accessor, lo, hi uint64) (count int, sum uint64) {
+	var pred [MaxHeight]memmodel.Addr
+	n := l.findPredecessors(acc, lo, &pred)
+	for n != 0 {
+		k := acc.Load(n + nodeKey)
+		if k >= hi {
+			break
+		}
+		sum += acc.Load(n + nodeVal)
+		count++
+		n = memmodel.Addr(acc.Load(n + nodeNext))
+	}
+	return count, sum
+}
+
+// Len walks level 0 and returns the item count (testing/diagnostics).
+func (l *List) Len(acc memmodel.Accessor) int {
+	n := 0
+	for node := acc.Load(l.head + nodeNext); node != 0; node = acc.Load(memmodel.Addr(node) + nodeNext) {
+		n++
+	}
+	return n
+}
+
+// Populate inserts keys 0..items-1 (value == key) from slot 0's pool cache;
+// single-threaded setup only.
+func (l *List) Populate(acc memmodel.Accessor, items int) {
+	for k := 0; k < items; k++ {
+		if !l.Insert(acc, uint64(k), uint64(k), l.pool.Get(0)) {
+			panic("skiplist: duplicate key during Populate")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package skiplist
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+)
+
+func mustSetup() (*List, *htm.Space, *alloc.Pool) {
+	space := htm.MustNewSpace(htm.Config{Threads: 2, Words: 1 << 18})
+	ar := memmodel.NewArena(0, space.Size())
+	pool := alloc.NewPool(ar, NodeWords, 2)
+	return New(ar, pool), space, pool
+}
+
+func setup(t *testing.T) (*List, *htm.Space, *alloc.Pool) {
+	t.Helper()
+	return mustSetup()
+}
+
+func TestEmptyList(t *testing.T) {
+	l, space, _ := setup(t)
+	if _, ok := l.Get(space, 1); ok {
+		t.Fatal("Get hit in empty list")
+	}
+	if n, sum := l.Range(space, 0, 100); n != 0 || sum != 0 {
+		t.Fatalf("Range over empty list = %d,%d", n, sum)
+	}
+	if l.Len(space) != 0 {
+		t.Fatal("empty list has nonzero Len")
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	l, space, pool := setup(t)
+	if !l.Insert(space, 5, 50, pool.Get(0)) {
+		t.Fatal("Insert of a fresh key returned false")
+	}
+	if v, ok := l.Get(space, 5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v, want 50,true", v, ok)
+	}
+	node := l.Delete(space, 5)
+	if node == 0 {
+		t.Fatal("Delete(5) found nothing")
+	}
+	pool.Put(0, node)
+	if _, ok := l.Get(space, 5); ok {
+		t.Fatal("Get hit after delete")
+	}
+}
+
+func TestInsertExistingUpdatesInPlace(t *testing.T) {
+	l, space, pool := setup(t)
+	n1 := pool.Get(0)
+	l.Insert(space, 9, 1, n1)
+	n2 := pool.Get(0)
+	if l.Insert(space, 9, 2, n2) {
+		t.Fatal("Insert of an existing key claimed to use the node")
+	}
+	pool.Put(0, n2) // unused node goes back
+	if v, _ := l.Get(space, 9); v != 2 {
+		t.Fatalf("value = %d after in-place update, want 2", v)
+	}
+	if l.Len(space) != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len(space))
+	}
+}
+
+func TestOrderedTraversal(t *testing.T) {
+	l, space, pool := setup(t)
+	keys := []uint64{7, 2, 9, 4, 1, 8, 3}
+	for _, k := range keys {
+		l.Insert(space, k, k*10, pool.Get(0))
+	}
+	n, sum := l.Range(space, 0, 100)
+	if n != len(keys) {
+		t.Fatalf("Range count = %d, want %d", n, len(keys))
+	}
+	var want uint64
+	for _, k := range keys {
+		want += k * 10
+	}
+	if sum != want {
+		t.Fatalf("Range sum = %d, want %d", sum, want)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	l, space, pool := setup(t)
+	for k := uint64(0); k < 20; k++ {
+		l.Insert(space, k, 1, pool.Get(0))
+	}
+	tests := []struct {
+		lo, hi uint64
+		want   int
+	}{
+		{0, 20, 20}, {5, 10, 5}, {10, 10, 0}, {19, 25, 1}, {20, 30, 0},
+	}
+	for _, tt := range tests {
+		if n, _ := l.Range(space, tt.lo, tt.hi); n != tt.want {
+			t.Errorf("Range(%d,%d) = %d, want %d", tt.lo, tt.hi, n, tt.want)
+		}
+	}
+}
+
+func TestDeterministicHeights(t *testing.T) {
+	// The same key always gets the same tower height, and heights follow
+	// a roughly geometric distribution.
+	counts := make([]int, MaxHeight+1)
+	for k := uint64(0); k < 4096; k++ {
+		h := height(k)
+		if h != height(k) {
+			t.Fatalf("height(%d) not deterministic", k)
+		}
+		if h < 1 || h > MaxHeight {
+			t.Fatalf("height(%d) = %d out of range", k, h)
+		}
+		counts[h]++
+	}
+	if counts[1] < 1500 || counts[1] > 2600 {
+		t.Fatalf("height-1 frequency %d/4096, want ~half", counts[1])
+	}
+	if counts[2] < 700 || counts[2] > 1400 {
+		t.Fatalf("height-2 frequency %d/4096, want ~quarter", counts[2])
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	l, space, _ := setup(t)
+	l.Populate(space, 500)
+	if got := l.Len(space); got != 500 {
+		t.Fatalf("Len = %d after Populate, want 500", got)
+	}
+	n, sum := l.Range(space, 100, 200)
+	if n != 100 {
+		t.Fatalf("Range count = %d, want 100", n)
+	}
+	want := uint64(100+199) * 100 / 2
+	if sum != want {
+		t.Fatalf("Range sum = %d, want %d", sum, want)
+	}
+}
+
+// TestQuickAgainstModel drives random operations against a Go map model;
+// gets, ordered ranges and sizes must agree throughout.
+func TestQuickAgainstModel(t *testing.T) {
+	prop := func(seed uint64, opsRaw uint8) bool {
+		l, space, pool := mustSetup()
+		model := map[uint64]uint64{}
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 60 + int(opsRaw)
+		for i := 0; i < n; i++ {
+			key := uint64(rng.IntN(24))
+			switch rng.IntN(4) {
+			case 0:
+				val := rng.Uint64()
+				node := pool.Get(0)
+				if !l.Insert(space, key, val, node) {
+					pool.Put(0, node)
+				}
+				model[key] = val
+			case 1:
+				node := l.Delete(space, key)
+				_, inModel := model[key]
+				if (node != 0) != inModel {
+					return false
+				}
+				if node != 0 {
+					pool.Put(0, node)
+					delete(model, key)
+				}
+			case 2:
+				v, ok := l.Get(space, key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 3:
+				lo := uint64(rng.IntN(24))
+				hi := lo + uint64(rng.IntN(10))
+				count, sum := l.Range(space, lo, hi)
+				wc, ws := 0, uint64(0)
+				for k, v := range model {
+					if k >= lo && k < hi {
+						wc++
+						ws += v
+					}
+				}
+				if count != wc || sum != ws {
+					return false
+				}
+			}
+		}
+		return l.Len(space) == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package snzi implements the Scalable NonZero Indicator of Ellen, Lev,
+// Luchangco and Moir (PODC '07), the reader-tracking structure behind
+// SpRWL's constant-time commit check (paper §3.4, evaluated in Fig. 6).
+//
+// A SNZI is a counter that supports Arrive/Depart with a Query that only
+// answers "is the surplus nonzero?". Queries read a single word (one cache
+// line), so a SpRWL writer can subscribe to the indicator inside its
+// hardware transaction at the cost of one read-set line, while reader
+// arrivals only propagate to that word when the global surplus transitions
+// between zero and nonzero — giving queries O(1) footprint and updates
+// O(log n) expected cost, the exact trade-off Fig. 6 explores.
+//
+// The structure lives in simulated memory (package memmodel addresses) so
+// that transactional readers of the indicator participate in the HTM
+// emulation's conflict detection, exactly as on real hardware.
+package snzi
+
+import (
+	"fmt"
+
+	"sprwl/internal/memmodel"
+)
+
+// Memory is the subset of environment operations SNZI needs. Both the real
+// runtime and the discrete-event simulator satisfy it.
+type Memory interface {
+	Load(a memmodel.Addr) uint64
+	Store(a memmodel.Addr, v uint64)
+	CAS(a memmodel.Addr, old, new uint64) bool
+}
+
+// Node word encoding, hierarchical (non-root) nodes: the counter is kept in
+// half units so the paper's ½ intermediate value is representable.
+const (
+	nodeCountBits = 24
+	nodeCountMask = (1 << nodeCountBits) - 1
+	half          = 1 // c = ½ in half units
+	one           = 2 // c = 1 in half units
+)
+
+func packNode(c2, v uint64) uint64       { return c2 | v<<nodeCountBits }
+func unpackNode(x uint64) (c2, v uint64) { return x & nodeCountMask, x >> nodeCountBits }
+
+// Root word encoding: counter, announce bit, version.
+const (
+	rootCountBits = 24
+	rootCountMask = (1 << rootCountBits) - 1
+	announceBit   = 1 << rootCountBits
+	rootVerShift  = rootCountBits + 1
+)
+
+func packRoot(c uint64, a bool, v uint64) uint64 {
+	x := c | v<<rootVerShift
+	if a {
+		x |= announceBit
+	}
+	return x
+}
+
+func unpackRoot(x uint64) (c uint64, a bool, v uint64) {
+	return x & rootCountMask, x&announceBit != 0, x >> rootVerShift
+}
+
+// SNZI is a scalable nonzero indicator laid out in simulated memory.
+type SNZI struct {
+	mem    Memory
+	base   memmodel.Addr
+	leaves int
+	nodes  int
+}
+
+// Words returns the number of simulated-memory words a SNZI for the given
+// thread count occupies: one line for the indicator plus one line per tree
+// node.
+func Words(threads int) int {
+	return (1 + nodeCount(threads)) * memmodel.LineWords
+}
+
+func leafCount(threads int) int {
+	if threads < 1 {
+		threads = 1
+	}
+	// One leaf per ~4 threads bounds both leaf contention and tree depth,
+	// the balance the SNZI paper recommends for moderate thread counts.
+	l := 1
+	for l*4 < threads {
+		l *= 2
+	}
+	return l
+}
+
+func nodeCount(threads int) int { return 2*leafCount(threads) - 1 }
+
+// New builds a SNZI over mem occupying Words(threads) words starting at
+// base. The region must be zeroed (zero surplus).
+func New(mem Memory, base memmodel.Addr, threads int) *SNZI {
+	if base%memmodel.LineWords != 0 {
+		panic(fmt.Sprintf("snzi: base %d not line-aligned", base))
+	}
+	l := leafCount(threads)
+	return &SNZI{mem: mem, base: base, leaves: l, nodes: 2*l - 1}
+}
+
+// IndicatorAddr returns the address of the single indicator word, for
+// transactional subscription (a SpRWL writer reads it inside its hardware
+// transaction; any 0↔nonzero transition by a reader then aborts the writer
+// through strong isolation, exactly like the state-array scheme but with a
+// one-line footprint).
+func (z *SNZI) IndicatorAddr() memmodel.Addr { return z.base }
+
+// nodeAddr returns the address of tree node i (0 is the root).
+func (z *SNZI) nodeAddr(i int) memmodel.Addr {
+	return z.base + memmodel.Addr((1+i)*memmodel.LineWords)
+}
+
+func parent(i int) int { return (i - 1) / 2 }
+
+// leafFor maps a thread slot to its leaf node index.
+func (z *SNZI) leafFor(slot int) int {
+	return (z.nodes - z.leaves) + slot%z.leaves
+}
+
+// Query reports whether the surplus is nonzero.
+func (z *SNZI) Query() bool { return z.mem.Load(z.base) != 0 }
+
+// Arrive increments the surplus on behalf of thread slot.
+func (z *SNZI) Arrive(slot int) { z.arrive(z.leafFor(slot)) }
+
+// Depart decrements the surplus on behalf of thread slot. Each Depart must
+// match an earlier Arrive by the same slot.
+func (z *SNZI) Depart(slot int) { z.depart(z.leafFor(slot)) }
+
+// arrive implements the hierarchical-node Arrive of the SNZI paper, with
+// node 0 as the root.
+func (z *SNZI) arrive(i int) {
+	if i == 0 {
+		z.rootArrive()
+		return
+	}
+	a := z.nodeAddr(i)
+	succ := false
+	undo := 0
+	for !succ {
+		x := z.mem.Load(a)
+		c2, v := unpackNode(x)
+		if c2 >= one {
+			if z.mem.CAS(a, x, packNode(c2+one, v)) {
+				succ = true
+			}
+			continue
+		}
+		if c2 == 0 {
+			if z.mem.CAS(a, x, packNode(half, v+1)) {
+				succ = true
+				c2, v = half, v+1
+				x = packNode(c2, v)
+			} else {
+				continue
+			}
+		}
+		if c2 == half {
+			z.arrive(parent(i))
+			if !z.mem.CAS(a, x, packNode(one, v)) {
+				undo++
+			}
+		}
+	}
+	for ; undo > 0; undo-- {
+		z.depart(parent(i))
+	}
+}
+
+// depart implements the hierarchical-node Depart.
+func (z *SNZI) depart(i int) {
+	if i == 0 {
+		z.rootDepart()
+		return
+	}
+	a := z.nodeAddr(i)
+	for {
+		x := z.mem.Load(a)
+		c2, v := unpackNode(x)
+		if c2 < one {
+			panic(fmt.Sprintf("snzi: Depart on node %d with surplus %d/2 (unmatched Depart?)", i, c2))
+		}
+		if z.mem.CAS(a, x, packNode(c2-one, v)) {
+			if c2 == one {
+				z.depart(parent(i))
+			}
+			return
+		}
+	}
+}
+
+// rootArrive implements the root Arrive with indicator announcement.
+func (z *SNZI) rootArrive() {
+	a := z.nodeAddr(0)
+	for {
+		x := z.mem.Load(a)
+		c, ann, v := unpackRoot(x)
+		nc, nann, nv := c+1, ann, v
+		if c == 0 {
+			nc, nann, nv = 1, true, v+1
+		}
+		next := packRoot(nc, nann, nv)
+		if !z.mem.CAS(a, x, next) {
+			continue
+		}
+		// Every arriver whose new word carries the announce bit helps
+		// publish the epoch — required so that no arriver can return
+		// (and enter its critical section) while the indicator still
+		// reads zero.
+		if nann {
+			for {
+				iv := z.mem.Load(z.base)
+				if iv >= nv {
+					break
+				}
+				if z.mem.CAS(z.base, iv, nv) {
+					break
+				}
+			}
+			// Retire the announce duty; losing this CAS only means
+			// a helper or a later transition already rewrote the
+			// word.
+			z.mem.CAS(a, next, packRoot(nc, false, nv))
+		}
+		return
+	}
+}
+
+// rootDepart implements the root Depart, clearing the indicator when the
+// surplus returns to zero in the same epoch.
+func (z *SNZI) rootDepart() {
+	a := z.nodeAddr(0)
+	for {
+		x := z.mem.Load(a)
+		c, _, v := unpackRoot(x)
+		if c == 0 {
+			panic("snzi: root Depart with zero surplus (unmatched Depart?)")
+		}
+		if z.mem.CAS(a, x, packRoot(c-1, false, v)) {
+			if c >= 2 {
+				return
+			}
+			// Surplus hit zero in epoch v: clear the indicator
+			// unless a newer epoch already announced.
+			z.mem.CAS(z.base, v, 0)
+			return
+		}
+	}
+}

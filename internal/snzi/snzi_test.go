@@ -1,0 +1,200 @@
+package snzi
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"sprwl/internal/memmodel"
+)
+
+// wordMemory is a minimal Memory for unit tests: a flat word array with
+// atomic access.
+type wordMemory struct {
+	words []uint64
+}
+
+func newWordMemory(words int) *wordMemory { return &wordMemory{words: make([]uint64, words)} }
+
+func (m *wordMemory) Load(a memmodel.Addr) uint64     { return atomic.LoadUint64(&m.words[a]) }
+func (m *wordMemory) Store(a memmodel.Addr, v uint64) { atomic.StoreUint64(&m.words[a], v) }
+func (m *wordMemory) CAS(a memmodel.Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&m.words[a], old, new)
+}
+
+func newTestSNZI(threads int) (*SNZI, *wordMemory) {
+	m := newWordMemory(Words(threads))
+	return New(m, 0, threads), m
+}
+
+func TestZeroInitially(t *testing.T) {
+	z, _ := newTestSNZI(8)
+	if z.Query() {
+		t.Fatal("fresh SNZI reports nonzero")
+	}
+}
+
+func TestArriveDepartSingleThread(t *testing.T) {
+	z, _ := newTestSNZI(8)
+	z.Arrive(0)
+	if !z.Query() {
+		t.Fatal("Query false after Arrive")
+	}
+	z.Arrive(0)
+	if !z.Query() {
+		t.Fatal("Query false after second Arrive")
+	}
+	z.Depart(0)
+	if !z.Query() {
+		t.Fatal("Query false with surplus 1")
+	}
+	z.Depart(0)
+	if z.Query() {
+		t.Fatal("Query true after matched departs")
+	}
+}
+
+func TestDistinctSlotsShareIndicator(t *testing.T) {
+	z, _ := newTestSNZI(16)
+	z.Arrive(3)
+	z.Arrive(11) // different leaf
+	z.Depart(3)
+	if !z.Query() {
+		t.Fatal("Query false while slot 11 still present")
+	}
+	z.Depart(11)
+	if z.Query() {
+		t.Fatal("Query true after all departs")
+	}
+}
+
+func TestManyEpochs(t *testing.T) {
+	z, _ := newTestSNZI(4)
+	for i := 0; i < 100; i++ {
+		z.Arrive(i % 4)
+		if !z.Query() {
+			t.Fatalf("epoch %d: Query false after Arrive", i)
+		}
+		z.Depart(i % 4)
+		if z.Query() {
+			t.Fatalf("epoch %d: Query true after Depart", i)
+		}
+	}
+}
+
+func TestUnmatchedDepartPanics(t *testing.T) {
+	z, _ := newTestSNZI(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched Depart did not panic")
+		}
+	}()
+	z.Depart(0)
+}
+
+func TestIndicatorAddrIsSingleWord(t *testing.T) {
+	z, m := newTestSNZI(32)
+	if z.IndicatorAddr() != 0 {
+		t.Fatalf("IndicatorAddr = %d, want base 0", z.IndicatorAddr())
+	}
+	z.Arrive(5)
+	if m.Load(z.IndicatorAddr()) == 0 {
+		t.Fatal("indicator word still zero after Arrive")
+	}
+}
+
+func TestWordsGrowsWithThreads(t *testing.T) {
+	if Words(1) <= 0 {
+		t.Fatal("Words(1) not positive")
+	}
+	if Words(64) < Words(4) {
+		t.Fatalf("Words(64)=%d < Words(4)=%d", Words(64), Words(4))
+	}
+	// Region must be line-aligned in size.
+	for _, n := range []int{1, 3, 8, 17, 64} {
+		if Words(n)%memmodel.LineWords != 0 {
+			t.Fatalf("Words(%d)=%d not a whole number of lines", n, Words(n))
+		}
+	}
+}
+
+func TestMisalignedBasePanics(t *testing.T) {
+	m := newWordMemory(Words(4) + 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned base did not panic")
+		}
+	}()
+	New(m, 1, 4)
+}
+
+// TestConcurrentAgainstReferenceCounter is the core SNZI contract test: the
+// indicator must be nonzero exactly while a reference surplus counter is
+// nonzero, checked at quiescent points; and while any thread is inside its
+// arrive..depart window the indicator must read nonzero from that thread.
+func TestConcurrentAgainstReferenceCounter(t *testing.T) {
+	const (
+		threads = 8
+		rounds  = 500
+	)
+	z, _ := newTestSNZI(threads)
+	var wg sync.WaitGroup
+	for slot := 0; slot < threads; slot++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(slot), 7))
+			for i := 0; i < rounds; i++ {
+				z.Arrive(slot)
+				// While we are present the indicator must be up.
+				if !z.Query() {
+					t.Errorf("slot %d: Query false during own presence", slot)
+					z.Depart(slot)
+					return
+				}
+				if rng.IntN(4) == 0 {
+					// Nested presence from the same slot.
+					z.Arrive(slot)
+					z.Depart(slot)
+				}
+				z.Depart(slot)
+			}
+		}()
+	}
+	wg.Wait()
+	if z.Query() {
+		t.Fatal("Query true after all threads departed")
+	}
+}
+
+// TestQuickRandomSchedules drives random arrive/depart schedules (always
+// well-formed: departs never exceed arrives) and checks the indicator equals
+// "surplus != 0" at every sequential step.
+func TestQuickRandomSchedules(t *testing.T) {
+	prop := func(script []uint8) bool {
+		z, _ := newTestSNZI(8)
+		surplus := 0
+		perSlot := [8]int{}
+		for _, b := range script {
+			slot := int(b) % 8
+			if b&0x80 != 0 && perSlot[slot] > 0 {
+				z.Depart(slot)
+				perSlot[slot]--
+				surplus--
+			} else {
+				z.Arrive(slot)
+				perSlot[slot]++
+				surplus++
+			}
+			if z.Query() != (surplus != 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Latency histograms: alongside the paper's mean latencies, the harness
+// reports tail behaviour using compact power-of-two buckets — bucket i
+// holds latencies in [2^(i-1), 2^i) cycles. Forty buckets cover anything a
+// cycle counter can express in practice.
+const latencyBuckets = 40
+
+// bucketOf maps a latency to its histogram bucket.
+func bucketOf(cycles uint64) int {
+	b := bits.Len64(cycles)
+	if b >= latencyBuckets {
+		return latencyBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i >= 63 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Percentile returns an upper bound on the p-quantile (0 < p <= 1) of kind
+// k's latency distribution, using the histogram's bucket resolution. It
+// returns 0 when no latencies were recorded.
+func (s Snapshot) Percentile(k Kind, p float64) uint64 {
+	total := s.LatencyCount[k]
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Ceiling rank: the p-quantile is the smallest value with at least
+	// ⌈p·n⌉ samples at or below it (so p99 of two samples is the larger).
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i := 0; i < latencyBuckets; i++ {
+		seen += s.LatencyHist[k][i]
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(latencyBuckets - 1)
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	tests := []struct {
+		cycles uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{^uint64(0), latencyBuckets - 1},
+	}
+	for _, tt := range tests {
+		if got := bucketOf(tt.cycles); got != tt.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", tt.cycles, got, tt.bucket)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Snapshot
+	if got := s.Percentile(Reader, 0.99); got != 0 {
+		t.Fatalf("Percentile on empty snapshot = %d, want 0", got)
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	var th Thread
+	th.Latency(Writer, 100)
+	s := Merge(&th)
+	p50 := s.Percentile(Writer, 0.5)
+	// 100 lands in bucket [64,128); the reported bound must cover it and
+	// stay within a power of two.
+	if p50 < 100 || p50 > 127 {
+		t.Fatalf("Percentile = %d, want within [100,127]", p50)
+	}
+}
+
+// TestPercentileOrderAndCoverage: on a random sample, percentile estimates
+// are monotone in p and bound the true order statistics from above (within
+// the bucket's factor-of-two resolution).
+func TestPercentileOrderAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var th Thread
+	var values []uint64
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.ExpFloat64() * 10000)
+		values = append(values, v)
+		th.Latency(Reader, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	s := Merge(&th)
+
+	prev := uint64(0)
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		got := s.Percentile(Reader, p)
+		if got < prev {
+			t.Fatalf("percentiles not monotone: p=%.2f gave %d < %d", p, got, prev)
+		}
+		prev = got
+		idx := int(p*float64(len(values))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		truth := values[idx]
+		if got < truth {
+			t.Fatalf("p=%.2f estimate %d below true order statistic %d", p, got, truth)
+		}
+		if truth > 0 && got > truth*2+1 {
+			t.Fatalf("p=%.2f estimate %d exceeds 2x true value %d (bucket resolution violated)", p, got, truth)
+		}
+	}
+}
+
+func TestPercentileClampsP(t *testing.T) {
+	var th Thread
+	th.Latency(Reader, 10)
+	s := Merge(&th)
+	if s.Percentile(Reader, -1) == 0 {
+		t.Fatal("Percentile(-1) returned 0 despite recorded data")
+	}
+	if s.Percentile(Reader, 2) == 0 {
+		t.Fatal("Percentile(2) returned 0 despite recorded data")
+	}
+}
+
+func TestHistogramMerges(t *testing.T) {
+	var a, b Thread
+	a.Latency(Writer, 8)
+	b.Latency(Writer, 8)
+	b.Latency(Writer, 1<<20)
+	s := Merge(&a, &b)
+	var total uint64
+	for _, c := range s.LatencyHist[Writer] {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("merged histogram holds %d samples, want 3", total)
+	}
+}

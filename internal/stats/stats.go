@@ -1,0 +1,205 @@
+// Package stats collects the per-thread execution statistics that the
+// paper's evaluation plots: commit-mode breakdowns (HTM/ROT/GL/Unins),
+// abort-cause breakdowns (conflict/capacity/explicit/reader/spurious), and
+// reader/writer latencies.
+//
+// Each worker thread owns a Thread sink and updates it without
+// synchronization; a Snapshot merges sinks after the workers have stopped
+// (or tolerates slight skew if taken mid-run, which is how the paper's
+// periodic reporting behaves too).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"sprwl/internal/env"
+)
+
+// Kind distinguishes reader and writer critical sections in latency and
+// count accounting.
+type Kind int
+
+const (
+	// Reader is a read-only critical section.
+	Reader Kind = iota
+	// Writer is an updating critical section.
+	Writer
+	numKinds
+)
+
+// Thread accumulates statistics for one worker thread. It must only be
+// updated by its owning thread.
+type Thread struct {
+	commits [numKinds][env.NumCommitModes]uint64
+	aborts  [numKinds][env.NumAbortCauses]uint64
+
+	latCycles [numKinds]uint64
+	latCount  [numKinds]uint64
+	latHist   [numKinds][latencyBuckets]uint64
+}
+
+// Commit records a critical section of the given kind completing in mode m.
+func (t *Thread) Commit(k Kind, m env.CommitMode) {
+	t.commits[k][m]++
+}
+
+// Abort records one aborted hardware attempt of the given kind.
+func (t *Thread) Abort(k Kind, c env.AbortCause) {
+	if c == env.Committed {
+		return
+	}
+	t.aborts[k][c]++
+}
+
+// Latency records the end-to-end latency (enter-to-exit, including waits and
+// retries) of one critical section, in cycles.
+func (t *Thread) Latency(k Kind, cycles uint64) {
+	t.latCycles[k] += cycles
+	t.latCount[k]++
+	t.latHist[k][bucketOf(cycles)]++
+}
+
+// Collector owns one Thread sink per worker slot, giving lock
+// implementations and the harness a shared place to record into.
+type Collector struct {
+	threads []Thread
+}
+
+// NewCollector builds a collector for n thread slots.
+func NewCollector(n int) *Collector {
+	if n < 1 {
+		n = 1
+	}
+	return &Collector{threads: make([]Thread, n)}
+}
+
+// Thread returns slot's sink. Only the owning thread may update it.
+func (c *Collector) Thread(slot int) *Thread { return &c.threads[slot] }
+
+// Snapshot merges all sinks.
+func (c *Collector) Snapshot() Snapshot {
+	ptrs := make([]*Thread, len(c.threads))
+	for i := range c.threads {
+		ptrs[i] = &c.threads[i]
+	}
+	return Merge(ptrs...)
+}
+
+// Snapshot is the merged view of many Thread sinks.
+type Snapshot struct {
+	// Commits[k][m] counts critical sections of kind k that completed in
+	// commit mode m.
+	Commits [numKinds][env.NumCommitModes]uint64
+	// Aborts[k][c] counts aborted hardware attempts by cause.
+	Aborts [numKinds][env.NumAbortCauses]uint64
+	// LatencyCycles[k] / LatencyCount[k] accumulate mean latency input;
+	// LatencyHist[k] holds power-of-two buckets for percentiles.
+	LatencyCycles [numKinds]uint64
+	LatencyCount  [numKinds]uint64
+	LatencyHist   [numKinds][latencyBuckets]uint64
+}
+
+// Merge produces a Snapshot summing the given thread sinks.
+func Merge(threads ...*Thread) Snapshot {
+	var s Snapshot
+	for _, t := range threads {
+		if t == nil {
+			continue
+		}
+		for k := 0; k < int(numKinds); k++ {
+			for m := range t.commits[k] {
+				s.Commits[k][m] += t.commits[k][m]
+			}
+			for c := range t.aborts[k] {
+				s.Aborts[k][c] += t.aborts[k][c]
+			}
+			s.LatencyCycles[k] += t.latCycles[k]
+			s.LatencyCount[k] += t.latCount[k]
+			for b := range t.latHist[k] {
+				s.LatencyHist[k][b] += t.latHist[k][b]
+			}
+		}
+	}
+	return s
+}
+
+// TotalCommits returns the number of completed critical sections of kind k.
+func (s Snapshot) TotalCommits(k Kind) uint64 {
+	var n uint64
+	for _, c := range s.Commits[k] {
+		n += c
+	}
+	return n
+}
+
+// TotalOps returns all completed critical sections.
+func (s Snapshot) TotalOps() uint64 {
+	return s.TotalCommits(Reader) + s.TotalCommits(Writer)
+}
+
+// TotalAborts returns the number of aborted hardware attempts of kind k.
+func (s Snapshot) TotalAborts(k Kind) uint64 {
+	var n uint64
+	for _, c := range s.Aborts[k] {
+		n += c
+	}
+	return n
+}
+
+// AbortRate returns aborted attempts as a fraction of all hardware attempts
+// (aborts / (aborts + HTM/ROT commits)), the quantity the paper's abort
+// plots show. It returns 0 when no hardware attempts ran.
+func (s Snapshot) AbortRate() float64 {
+	var aborts, hwCommits uint64
+	for k := 0; k < int(numKinds); k++ {
+		for _, c := range s.Aborts[k] {
+			aborts += c
+		}
+		hwCommits += s.Commits[k][env.ModeHTM] + s.Commits[k][env.ModeROT]
+	}
+	if aborts+hwCommits == 0 {
+		return 0
+	}
+	return float64(aborts) / float64(aborts+hwCommits)
+}
+
+// CommitShare returns the fraction of completed critical sections (both
+// kinds) that finished in mode m.
+func (s Snapshot) CommitShare(m env.CommitMode) float64 {
+	total := s.TotalOps()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Commits[Reader][m]+s.Commits[Writer][m]) / float64(total)
+}
+
+// AbortShare returns the fraction of all aborts attributed to cause c.
+func (s Snapshot) AbortShare(c env.AbortCause) float64 {
+	total := s.TotalAborts(Reader) + s.TotalAborts(Writer)
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts[Reader][c]+s.Aborts[Writer][c]) / float64(total)
+}
+
+// MeanLatency returns the mean critical-section latency of kind k in cycles,
+// or 0 if none completed.
+func (s Snapshot) MeanLatency(k Kind) float64 {
+	if s.LatencyCount[k] == 0 {
+		return 0
+	}
+	return float64(s.LatencyCycles[k]) / float64(s.LatencyCount[k])
+}
+
+// String renders a compact human-readable summary.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops=%d abortRate=%.1f%%", s.TotalOps(), 100*s.AbortRate())
+	for _, m := range []env.CommitMode{env.ModeHTM, env.ModeROT, env.ModeGL, env.ModeUninstrumented, env.ModePessimistic} {
+		if share := s.CommitShare(m); share > 0 {
+			fmt.Fprintf(&b, " %s=%.1f%%", m, 100*share)
+		}
+	}
+	return b.String()
+}

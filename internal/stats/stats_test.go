@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"sprwl/internal/env"
+)
+
+func TestMergeAggregatesAcrossThreads(t *testing.T) {
+	var a, b Thread
+	a.Commit(Reader, env.ModeUninstrumented)
+	a.Commit(Reader, env.ModeUninstrumented)
+	a.Commit(Writer, env.ModeHTM)
+	a.Abort(Writer, env.AbortReader)
+	b.Commit(Writer, env.ModeGL)
+	b.Abort(Writer, env.AbortCapacity)
+	b.Abort(Reader, env.AbortConflict)
+	b.Latency(Reader, 100)
+	b.Latency(Reader, 300)
+
+	s := Merge(&a, &b)
+	if got := s.TotalCommits(Reader); got != 2 {
+		t.Fatalf("TotalCommits(Reader) = %d, want 2", got)
+	}
+	if got := s.TotalCommits(Writer); got != 2 {
+		t.Fatalf("TotalCommits(Writer) = %d, want 2", got)
+	}
+	if got := s.TotalOps(); got != 4 {
+		t.Fatalf("TotalOps = %d, want 4", got)
+	}
+	if got := s.TotalAborts(Writer); got != 2 {
+		t.Fatalf("TotalAborts(Writer) = %d, want 2", got)
+	}
+	if got := s.MeanLatency(Reader); got != 200 {
+		t.Fatalf("MeanLatency(Reader) = %f, want 200", got)
+	}
+}
+
+func TestMergeToleratesNil(t *testing.T) {
+	var a Thread
+	a.Commit(Reader, env.ModeHTM)
+	s := Merge(&a, nil)
+	if got := s.TotalOps(); got != 1 {
+		t.Fatalf("TotalOps = %d, want 1", got)
+	}
+}
+
+func TestAbortRate(t *testing.T) {
+	var a Thread
+	for i := 0; i < 3; i++ {
+		a.Commit(Writer, env.ModeHTM)
+	}
+	a.Abort(Writer, env.AbortConflict)
+	s := Merge(&a)
+	if got := s.AbortRate(); got != 0.25 {
+		t.Fatalf("AbortRate = %f, want 0.25", got)
+	}
+}
+
+func TestAbortRateIgnoresNonHardwareCommits(t *testing.T) {
+	var a Thread
+	a.Commit(Reader, env.ModeUninstrumented) // not a hardware attempt
+	a.Commit(Writer, env.ModeHTM)
+	a.Abort(Writer, env.AbortCapacity)
+	s := Merge(&a)
+	if got := s.AbortRate(); got != 0.5 {
+		t.Fatalf("AbortRate = %f, want 0.5 (unins commits excluded)", got)
+	}
+}
+
+func TestCommittedIsNotAnAbort(t *testing.T) {
+	var a Thread
+	a.Abort(Writer, env.Committed)
+	s := Merge(&a)
+	if got := s.TotalAborts(Writer); got != 0 {
+		t.Fatalf("TotalAborts = %d after recording Committed, want 0", got)
+	}
+}
+
+func TestShares(t *testing.T) {
+	var a Thread
+	a.Commit(Reader, env.ModeUninstrumented)
+	a.Commit(Writer, env.ModeHTM)
+	a.Commit(Writer, env.ModeHTM)
+	a.Commit(Writer, env.ModeGL)
+	a.Abort(Writer, env.AbortReader)
+	a.Abort(Writer, env.AbortReader)
+	a.Abort(Writer, env.AbortConflict)
+	s := Merge(&a)
+	if got := s.CommitShare(env.ModeHTM); got != 0.5 {
+		t.Fatalf("CommitShare(HTM) = %f, want 0.5", got)
+	}
+	if got := s.CommitShare(env.ModeUninstrumented); got != 0.25 {
+		t.Fatalf("CommitShare(Unins) = %f, want 0.25", got)
+	}
+	if got := s.AbortShare(env.AbortReader); got < 0.66 || got > 0.67 {
+		t.Fatalf("AbortShare(reader) = %f, want 2/3", got)
+	}
+}
+
+func TestEmptySnapshotIsSafe(t *testing.T) {
+	var s Snapshot
+	if s.AbortRate() != 0 || s.CommitShare(env.ModeHTM) != 0 || s.MeanLatency(Writer) != 0 || s.AbortShare(env.AbortReader) != 0 {
+		t.Fatal("empty snapshot produced nonzero ratios")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	var a Thread
+	a.Commit(Writer, env.ModeHTM)
+	a.Commit(Reader, env.ModeUninstrumented)
+	got := Merge(&a).String()
+	for _, want := range []string{"ops=2", "HTM=50.0%", "Unins=50.0%"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package tle implements plain transactional lock elision, the "TLE"
+// baseline of the paper's evaluation: every critical section — read-only or
+// updating — runs as a best-effort hardware transaction subscribed to a
+// single global fallback lock, with the paper's retry policy (10 attempts,
+// immediate fallback on a capacity abort).
+//
+// TLE is the foil for SpRWL's headline result: read-only sections larger
+// than the HTM capacity cannot commit in hardware, so TLE degrades to the
+// serial fallback exactly where SpRWL's uninstrumented readers keep
+// scaling (Figs. 3 and 4).
+package tle
+
+import (
+	"sprwl/internal/env"
+	"sprwl/internal/locks"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
+)
+
+// DefaultRetries is the paper's hardware attempt budget.
+const DefaultRetries = 10
+
+// TLE is a transactional-lock-elision lock.
+type TLE struct {
+	e       env.Env
+	gl      locks.SpinMutex
+	retries int
+	col     *stats.Collector
+}
+
+var _ rwlock.Lock = (*TLE)(nil)
+
+// New carves a TLE lock out of the arena. retries <= 0 selects
+// DefaultRetries; col may be nil.
+func New(e env.Env, ar *memmodel.Arena, retries int, col *stats.Collector) *TLE {
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	return &TLE{
+		e:       e,
+		gl:      locks.NewSpinMutex(e, ar.AllocLines(1)),
+		retries: retries,
+		col:     col,
+	}
+}
+
+// Name implements rwlock.Lock.
+func (*TLE) Name() string { return "TLE" }
+
+// NewHandle implements rwlock.Lock.
+func (l *TLE) NewHandle(slot int) rwlock.Handle { return &handle{l: l, slot: slot} }
+
+type handle struct {
+	l    *TLE
+	slot int
+}
+
+func (h *handle) Read(csID int, body rwlock.Body) { h.run(stats.Reader, body) }
+
+func (h *handle) Write(csID int, body rwlock.Body) { h.run(stats.Writer, body) }
+
+// run elides the critical section: attempt in hardware with the lock
+// subscribed; after the budget (or a capacity abort) execute under the
+// global lock.
+func (h *handle) run(k stats.Kind, body rwlock.Body) {
+	l := h.l
+	start := l.e.Now()
+	glAddr := l.gl.Addr()
+	for attempts := 0; attempts < l.retries; {
+		for l.gl.IsLocked() {
+			l.e.Yield()
+		}
+		cause := l.e.Attempt(h.slot, env.TxOpts{}, func(tx env.TxAccessor) {
+			if tx.Load(glAddr) != 0 {
+				tx.Abort(env.AbortExplicit)
+			}
+			body(tx)
+		})
+		if cause == env.Committed {
+			h.record(k, env.ModeHTM, start)
+			return
+		}
+		if l.col != nil {
+			l.col.Thread(h.slot).Abort(k, cause)
+		}
+		if cause == env.AbortCapacity {
+			break
+		}
+		attempts++
+	}
+	l.gl.Lock()
+	body(l.e)
+	l.gl.Unlock()
+	h.record(k, env.ModeGL, start)
+}
+
+func (h *handle) record(k stats.Kind, m env.CommitMode, start uint64) {
+	if h.l.col == nil {
+		return
+	}
+	t := h.l.col.Thread(h.slot)
+	t.Commit(k, m)
+	t.Latency(k, h.l.e.Now()-start)
+}

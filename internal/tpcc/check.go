@@ -1,0 +1,66 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"sprwl/internal/memmodel"
+)
+
+// CheckWarehouse verifies the TPC-C consistency conditions this schema
+// maintains for one warehouse (a scaled rendition of spec §3.3.2):
+//
+//	C1. W_YTD equals the sum of the warehouse's district YTDs.
+//	C2. In every district, D_NEXT_O_ID >= the oldest undelivered order id.
+//	C3. Every live order has an order-line count within [5, MaxOrderLines].
+//	C4. Undelivered orders have no carrier; delivered ones do.
+//
+// The accessor should be a quiescent (no concurrent writers) view.
+func (db *DB) CheckWarehouse(acc memmodel.Accessor, w int) error {
+	cfg := db.cfg
+	var dSum uint64
+	for d := 0; d < cfg.DistrictsPerWH; d++ {
+		da := db.districtAddr(w, d)
+		dSum += acc.Load(da + dYTD)
+		next := acc.Load(da + dNextOID)
+		oldest := acc.Load(da + dOldestUndeliv)
+		if oldest > next {
+			return fmt.Errorf("tpcc: w%d d%d: oldest undelivered %d > next order id %d", w, d, oldest, next)
+		}
+		start := uint64(0)
+		if next > uint64(cfg.OrderRing) {
+			start = next - uint64(cfg.OrderRing)
+		}
+		for oid := start; oid < next; oid++ {
+			slot := db.orderSlot(oid)
+			oa := db.orderAddr(w, d, slot)
+			if acc.Load(oa+oID) != oid+1 {
+				continue // slot recycled by a newer order
+			}
+			n := acc.Load(oa + oOLCnt)
+			if n < 5 || n > uint64(cfg.MaxOrderLines) {
+				return fmt.Errorf("tpcc: w%d d%d o%d: order-line count %d outside [5,%d]", w, d, oid, n, cfg.MaxOrderLines)
+			}
+			carrier := acc.Load(oa + oCarrierID)
+			if oid < oldest && carrier == 0 {
+				return fmt.Errorf("tpcc: w%d d%d o%d: delivered order has no carrier", w, d, oid)
+			}
+			if oid >= oldest && carrier != 0 {
+				return fmt.Errorf("tpcc: w%d d%d o%d: undelivered order has carrier %d", w, d, oid, carrier)
+			}
+		}
+	}
+	if got := acc.Load(db.warehouseAddr(w) + wYTD); got != dSum {
+		return fmt.Errorf("tpcc: w%d: W_YTD = %d but sum of D_YTD = %d", w, got, dSum)
+	}
+	return nil
+}
+
+// Check runs CheckWarehouse over the whole database.
+func (db *DB) Check(acc memmodel.Accessor) error {
+	for w := 0; w < db.cfg.Warehouses; w++ {
+		if err := db.CheckWarehouse(acc, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+// Package tpcc is an in-memory TPC-C port over simulated memory, the §4.2
+// macro-benchmark of the paper. It mirrors the structure of the C++
+// in-memory port the paper uses [tpccbench]: all five transaction profiles
+// run as critical sections of a single read-write lock, with Stock-Level
+// and Order-Status as read-only sections and New-Order, Payment and
+// Delivery as updates.
+//
+// Scope of the port (the paper's own port simplifies similarly, and none of
+// these affect the concurrency structure the benchmark exists to exercise):
+//
+//   - Monetary amounts are integer cents; strings (names, addresses) are
+//     not materialized — they are conflict-free payload on real hardware
+//     and would only pad footprints uniformly.
+//   - Customer selection is by id (the spec's 60% by-last-name lookup adds
+//     a read-only index probe).
+//   - The History table is not stored (it is write-only in the spec);
+//     warehouse/district/customer YTD fields carry the same information.
+//   - Orders live in fixed-capacity per-district rings sized for the run
+//     length; New-Order fails (fully, within its transaction) when a ring
+//     is exhausted, mimicking the spec's 1% rollback path.
+//
+// Every record is line-aligned so transactional footprints map directly to
+// simulated cache lines.
+package tpcc
+
+import (
+	"fmt"
+
+	"sprwl/internal/memmodel"
+)
+
+// Config scales the database. Zero fields select the defaults, which are
+// scaled down from the TPC-C spec to simulator-friendly sizes while keeping
+// every structural ratio (10 districts/warehouse, 5–15 lines/order, 20
+// orders scanned by Stock-Level).
+type Config struct {
+	Warehouses           int
+	DistrictsPerWH       int // spec: 10
+	CustomersPerDistrict int // spec: 3000; scaled default 96
+	Items                int // spec: 100000; scaled default 2048
+	// OrderRing is the per-district order capacity; it must exceed the
+	// initial orders (one per customer) plus the New-Orders expected
+	// during a run.
+	OrderRing int
+	// MaxOrderLines is the per-order line capacity (spec: 15).
+	MaxOrderLines int
+}
+
+// Validate fills defaults.
+func (c *Config) Validate() {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 1
+	}
+	if c.DistrictsPerWH <= 0 {
+		c.DistrictsPerWH = 10
+	}
+	if c.CustomersPerDistrict <= 0 {
+		c.CustomersPerDistrict = 96
+	}
+	if c.Items <= 0 {
+		c.Items = 2048
+	}
+	if c.MaxOrderLines <= 0 {
+		c.MaxOrderLines = 15
+	}
+	if c.OrderRing <= 0 {
+		c.OrderRing = c.CustomersPerDistrict + 256
+	}
+}
+
+// Record layouts (word offsets within a record's line).
+const (
+	// Warehouse record.
+	wYTD = 0
+
+	// District record.
+	dYTD           = 0
+	dNextOID       = 1 // next order id == number of orders ever created
+	dOldestUndeliv = 2 // oldest undelivered order id
+
+	// Customer record.
+	cBalance     = 0 // int64 cents, two's complement
+	cYTDPayment  = 1
+	cPaymentCnt  = 2
+	cDeliveryCnt = 3
+	cLastOID     = 4 // most recent order id + 1 (0 = none)
+
+	// Stock record.
+	sQuantity  = 0
+	sYTD       = 1
+	sOrderCnt  = 2
+	sRemoteCnt = 3
+
+	// Order record.
+	oID        = 0 // order id + 1 (0 = empty slot)
+	oCID       = 1
+	oCarrierID = 2 // carrier id + 1 (0 = undelivered)
+	oOLCnt     = 3
+	oEntryD    = 4
+
+	// Order-line record.
+	olItemID    = 0
+	olSupplyWH  = 1
+	olQuantity  = 2
+	olAmount    = 3
+	olDeliveryD = 4
+)
+
+// DB is a laid-out, loadable TPC-C database in simulated memory.
+type DB struct {
+	cfg Config
+
+	warehouses memmodel.Addr // W lines
+	districts  memmodel.Addr // W*D lines
+	customers  memmodel.Addr // W*D*C lines
+	stock      memmodel.Addr // W*I lines
+	itemPrice  memmodel.Addr // I words, packed (read-only)
+	orders     memmodel.Addr // W*D*Ring lines
+	orderLines memmodel.Addr // W*D*Ring*MaxOL lines
+}
+
+// Words returns the database's simulated-memory footprint.
+func Words(cfg Config) int {
+	cfg.Validate()
+	w, d, c := cfg.Warehouses, cfg.DistrictsPerWH, cfg.CustomersPerDistrict
+	lines := w + // warehouses
+		w*d + // districts
+		w*d*c + // customers
+		w*cfg.Items + // stock
+		w*d*cfg.OrderRing + // orders
+		w*d*cfg.OrderRing*cfg.MaxOrderLines // order lines
+	itemWords := (cfg.Items + memmodel.LineWords - 1) / memmodel.LineWords * memmodel.LineWords
+	return lines*memmodel.LineWords + itemWords
+}
+
+// New lays a database out in ar (without loading data; see Load).
+func New(ar *memmodel.Arena, cfg Config) *DB {
+	cfg.Validate()
+	w, d, c := cfg.Warehouses, cfg.DistrictsPerWH, cfg.CustomersPerDistrict
+	db := &DB{cfg: cfg}
+	db.warehouses = ar.AllocLines(w)
+	db.districts = ar.AllocLines(w * d)
+	db.customers = ar.AllocLines(w * d * c)
+	db.stock = ar.AllocLines(w * cfg.Items)
+	db.itemPrice = ar.AllocWords(cfg.Items)
+	db.orders = ar.AllocLines(w * d * cfg.OrderRing)
+	db.orderLines = ar.AllocLines(w * d * cfg.OrderRing * cfg.MaxOrderLines)
+	return db
+}
+
+// Config returns the validated scale parameters.
+func (db *DB) Config() Config { return db.cfg }
+
+// Address helpers. All indices are zero-based.
+
+func (db *DB) warehouseAddr(w int) memmodel.Addr {
+	return db.warehouses + memmodel.Addr(w*memmodel.LineWords)
+}
+
+func (db *DB) districtAddr(w, d int) memmodel.Addr {
+	return db.districts + memmodel.Addr((w*db.cfg.DistrictsPerWH+d)*memmodel.LineWords)
+}
+
+func (db *DB) customerAddr(w, d, c int) memmodel.Addr {
+	idx := (w*db.cfg.DistrictsPerWH+d)*db.cfg.CustomersPerDistrict + c
+	return db.customers + memmodel.Addr(idx*memmodel.LineWords)
+}
+
+func (db *DB) stockAddr(w, i int) memmodel.Addr {
+	return db.stock + memmodel.Addr((w*db.cfg.Items+i)*memmodel.LineWords)
+}
+
+func (db *DB) itemPriceAddr(i int) memmodel.Addr {
+	return db.itemPrice + memmodel.Addr(i)
+}
+
+// orderSlot maps an order id to its ring slot.
+func (db *DB) orderSlot(oid uint64) int { return int(oid % uint64(db.cfg.OrderRing)) }
+
+func (db *DB) orderAddr(w, d int, slot int) memmodel.Addr {
+	idx := (w*db.cfg.DistrictsPerWH+d)*db.cfg.OrderRing + slot
+	return db.orders + memmodel.Addr(idx*memmodel.LineWords)
+}
+
+func (db *DB) orderLineAddr(w, d int, slot, line int) memmodel.Addr {
+	idx := ((w*db.cfg.DistrictsPerWH+d)*db.cfg.OrderRing + slot) * db.cfg.MaxOrderLines
+	return db.orderLines + memmodel.Addr((idx+line)*memmodel.LineWords)
+}
+
+// Load populates the database per the TPC-C §4.3 population rules (scaled):
+// full stock, priced items, and one delivered initial order per customer.
+// It must run before workers start, through a cost-free accessor.
+func (db *DB) Load(acc memmodel.Accessor, seed uint64) {
+	cfg := db.cfg
+	rng := newRand(seed)
+	for i := 0; i < cfg.Items; i++ {
+		acc.Store(db.itemPriceAddr(i), 100+rng.N(9901)) // $1.00..$100.00
+	}
+	for w := 0; w < cfg.Warehouses; w++ {
+		acc.Store(db.warehouseAddr(w)+wYTD, 0)
+		for i := 0; i < cfg.Items; i++ {
+			sa := db.stockAddr(w, i)
+			acc.Store(sa+sQuantity, 10+rng.N(91)) // 10..100 per spec
+		}
+		for d := 0; d < cfg.DistrictsPerWH; d++ {
+			da := db.districtAddr(w, d)
+			acc.Store(da+dYTD, 0)
+			// One initial (delivered) order per customer.
+			for c := 0; c < cfg.CustomersPerDistrict; c++ {
+				oid := uint64(c)
+				slot := db.orderSlot(oid)
+				oa := db.orderAddr(w, d, slot)
+				nLines := 5 + int(rng.N(11)) // 5..15
+				acc.Store(oa+oID, oid+1)
+				acc.Store(oa+oCID, uint64(c))
+				acc.Store(oa+oCarrierID, 1+rng.N(10))
+				acc.Store(oa+oOLCnt, uint64(nLines))
+				acc.Store(oa+oEntryD, 0)
+				for l := 0; l < nLines; l++ {
+					ola := db.orderLineAddr(w, d, slot, l)
+					item := rng.N(uint64(cfg.Items))
+					acc.Store(ola+olItemID, item)
+					acc.Store(ola+olSupplyWH, uint64(w))
+					acc.Store(ola+olQuantity, 1+rng.N(10))
+					acc.Store(ola+olAmount, 0) // initial orders ship free per spec
+					acc.Store(ola+olDeliveryD, 1)
+				}
+				ca := db.customerAddr(w, d, c)
+				acc.Store(ca+cBalance, negCents(1000)) // spec: -$10.00
+				acc.Store(ca+cYTDPayment, 1000)
+				acc.Store(ca+cPaymentCnt, 1)
+				acc.Store(ca+cDeliveryCnt, 1)
+				acc.Store(ca+cLastOID, oid+1)
+			}
+			acc.Store(da+dNextOID, uint64(cfg.CustomersPerDistrict))
+			acc.Store(da+dOldestUndeliv, uint64(cfg.CustomersPerDistrict))
+		}
+	}
+}
+
+// negCents encodes a negative cent amount in two's complement.
+func negCents(c uint64) uint64 { return ^c + 1 }
+
+// rand is a tiny deterministic PRNG (splitmix64) so the loader and
+// transactions are reproducible without importing math/rand state.
+type Rand struct{ s uint64 }
+
+func newRand(seed uint64) *Rand { return &Rand{s: seed*2654435769 + 0x9e3779b97f4a7c15} }
+
+// NewWorkerRand returns the deterministic input-drawing PRNG for one worker
+// thread.
+func NewWorkerRand(seed uint64, slot int) *Rand {
+	return newRand(seed ^ (uint64(slot)+1)*0x9e3779b97f4a7c15)
+}
+
+func (r *Rand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// n returns a uniform value in [0, n).
+func (r *Rand) N(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// String summarizes the scale.
+func (db *DB) String() string {
+	c := db.cfg
+	return fmt.Sprintf("tpcc[W=%d D=%d C=%d I=%d ring=%d]",
+		c.Warehouses, c.DistrictsPerWH, c.CustomersPerDistrict, c.Items, c.OrderRing)
+}

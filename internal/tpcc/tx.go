@@ -1,0 +1,272 @@
+package tpcc
+
+import "sprwl/internal/memmodel"
+
+// The five TPC-C transaction profiles, implemented against an arbitrary
+// accessor so they run as read/write critical sections under any lock. All
+// inputs are drawn ahead of the critical section (so a retried transaction
+// body replays identical work), mirroring how the paper's port drives its
+// RWLock.
+
+// NewOrderInput is a pre-drawn New-Order transaction.
+type NewOrderInput struct {
+	W, D, C int
+	Items   []OrderItem
+}
+
+// OrderItem is one requested line of a New-Order.
+type OrderItem struct {
+	Item     int
+	SupplyWH int
+	Quantity uint64
+}
+
+// GenNewOrder draws New-Order inputs per spec §2.4.1: 5–15 items, 1%
+// remote supply warehouses (when more than one warehouse exists).
+func (db *DB) GenNewOrder(r *Rand) NewOrderInput {
+	cfg := db.cfg
+	in := NewOrderInput{
+		W: int(r.N(uint64(cfg.Warehouses))),
+		D: int(r.N(uint64(cfg.DistrictsPerWH))),
+		C: int(r.N(uint64(cfg.CustomersPerDistrict))),
+	}
+	n := 5 + int(r.N(11))
+	in.Items = make([]OrderItem, n)
+	for i := range in.Items {
+		supply := in.W
+		if cfg.Warehouses > 1 && r.N(100) == 0 {
+			for supply == in.W {
+				supply = int(r.N(uint64(cfg.Warehouses)))
+			}
+		}
+		in.Items[i] = OrderItem{
+			Item:     int(r.N(uint64(cfg.Items))),
+			SupplyWH: supply,
+			Quantity: 1 + r.N(10),
+		}
+	}
+	return in
+}
+
+// NewOrder executes the New-Order profile (§2.4.2): allocate the next
+// order id, price each line against the item table, deplete stock, and
+// materialize the order and its lines. It returns false (with no lasting
+// effect beyond the consumed order id) when the district's order ring has
+// no free slot — the analogue of the spec's rollback path.
+func (db *DB) NewOrder(acc memmodel.Accessor, in NewOrderInput, now uint64) bool {
+	da := db.districtAddr(in.W, in.D)
+	oid := acc.Load(da + dNextOID)
+	oldest := acc.Load(da + dOldestUndeliv)
+	if oid-oldest >= uint64(db.cfg.OrderRing) {
+		// The new order's ring slot still holds an undelivered order:
+		// the district's backlog fills the ring.
+		return false
+	}
+	acc.Store(da+dNextOID, oid+1)
+
+	slot := db.orderSlot(oid)
+	oa := db.orderAddr(in.W, in.D, slot)
+	acc.Store(oa+oID, oid+1)
+	acc.Store(oa+oCID, uint64(in.C))
+	acc.Store(oa+oCarrierID, 0) // undelivered
+	acc.Store(oa+oOLCnt, uint64(len(in.Items)))
+	acc.Store(oa+oEntryD, now)
+
+	for l, it := range in.Items {
+		price := acc.Load(db.itemPriceAddr(it.Item))
+		sa := db.stockAddr(it.SupplyWH, it.Item)
+		q := acc.Load(sa + sQuantity)
+		if q >= it.Quantity+10 {
+			q -= it.Quantity
+		} else {
+			q = q + 91 - it.Quantity // spec: restock by 91
+		}
+		acc.Store(sa+sQuantity, q)
+		acc.Store(sa+sYTD, acc.Load(sa+sYTD)+it.Quantity)
+		acc.Store(sa+sOrderCnt, acc.Load(sa+sOrderCnt)+1)
+		if it.SupplyWH != in.W {
+			acc.Store(sa+sRemoteCnt, acc.Load(sa+sRemoteCnt)+1)
+		}
+
+		ola := db.orderLineAddr(in.W, in.D, slot, l)
+		acc.Store(ola+olItemID, uint64(it.Item))
+		acc.Store(ola+olSupplyWH, uint64(it.SupplyWH))
+		acc.Store(ola+olQuantity, it.Quantity)
+		acc.Store(ola+olAmount, it.Quantity*price)
+		acc.Store(ola+olDeliveryD, 0)
+	}
+
+	ca := db.customerAddr(in.W, in.D, in.C)
+	acc.Store(ca+cLastOID, oid+1)
+	return true
+}
+
+// PaymentInput is a pre-drawn Payment transaction.
+type PaymentInput struct {
+	W, D, C int
+	// Amount in cents (spec: $1.00 .. $5000.00).
+	Amount uint64
+}
+
+// GenPayment draws Payment inputs. The spec's 15% remote-customer payments
+// are preserved when multiple warehouses exist.
+func (db *DB) GenPayment(r *Rand) PaymentInput {
+	cfg := db.cfg
+	in := PaymentInput{
+		W:      int(r.N(uint64(cfg.Warehouses))),
+		D:      int(r.N(uint64(cfg.DistrictsPerWH))),
+		C:      int(r.N(uint64(cfg.CustomersPerDistrict))),
+		Amount: 100 + r.N(499901),
+	}
+	return in
+}
+
+// Payment executes the Payment profile (§2.5.2): warehouse, district and
+// customer YTD/balance updates.
+func (db *DB) Payment(acc memmodel.Accessor, in PaymentInput) {
+	wa := db.warehouseAddr(in.W)
+	acc.Store(wa+wYTD, acc.Load(wa+wYTD)+in.Amount)
+	da := db.districtAddr(in.W, in.D)
+	acc.Store(da+dYTD, acc.Load(da+dYTD)+in.Amount)
+	ca := db.customerAddr(in.W, in.D, in.C)
+	acc.Store(ca+cBalance, acc.Load(ca+cBalance)-in.Amount)
+	acc.Store(ca+cYTDPayment, acc.Load(ca+cYTDPayment)+in.Amount)
+	acc.Store(ca+cPaymentCnt, acc.Load(ca+cPaymentCnt)+1)
+}
+
+// OrderStatusInput is a pre-drawn Order-Status transaction.
+type OrderStatusInput struct {
+	W, D, C int
+}
+
+// GenOrderStatus draws Order-Status inputs.
+func (db *DB) GenOrderStatus(r *Rand) OrderStatusInput {
+	cfg := db.cfg
+	return OrderStatusInput{
+		W: int(r.N(uint64(cfg.Warehouses))),
+		D: int(r.N(uint64(cfg.DistrictsPerWH))),
+		C: int(r.N(uint64(cfg.CustomersPerDistrict))),
+	}
+}
+
+// OrderStatus executes the read-only Order-Status profile (§2.6.2): the
+// customer's balance plus their most recent order and its lines. The
+// returned checksum keeps the reads from being optimized away and gives
+// tests something to verify.
+func (db *DB) OrderStatus(acc memmodel.Accessor, in OrderStatusInput) uint64 {
+	ca := db.customerAddr(in.W, in.D, in.C)
+	sum := acc.Load(ca + cBalance)
+	lastOID := acc.Load(ca + cLastOID)
+	if lastOID == 0 {
+		return sum
+	}
+	slot := db.orderSlot(lastOID - 1)
+	oa := db.orderAddr(in.W, in.D, slot)
+	if acc.Load(oa+oID) != lastOID {
+		// The ring slot was recycled; the order is too old to report.
+		return sum
+	}
+	sum += acc.Load(oa + oCarrierID)
+	n := int(acc.Load(oa + oOLCnt))
+	for l := 0; l < n; l++ {
+		ola := db.orderLineAddr(in.W, in.D, slot, l)
+		sum += acc.Load(ola+olItemID) + acc.Load(ola+olAmount) + acc.Load(ola+olDeliveryD)
+	}
+	return sum
+}
+
+// DeliveryInput is a pre-drawn Delivery transaction.
+type DeliveryInput struct {
+	W       int
+	Carrier uint64
+}
+
+// GenDelivery draws Delivery inputs.
+func (db *DB) GenDelivery(r *Rand) DeliveryInput {
+	return DeliveryInput{
+		W:       int(r.N(uint64(db.cfg.Warehouses))),
+		Carrier: 1 + r.N(10),
+	}
+}
+
+// Delivery executes the Delivery profile (§2.7.4): in each district of the
+// warehouse, deliver the oldest undelivered order — stamp the carrier, date
+// the lines, and credit the customer with the order total. It returns the
+// number of orders delivered.
+func (db *DB) Delivery(acc memmodel.Accessor, in DeliveryInput, now uint64) int {
+	delivered := 0
+	for d := 0; d < db.cfg.DistrictsPerWH; d++ {
+		da := db.districtAddr(in.W, d)
+		oldest := acc.Load(da + dOldestUndeliv)
+		if oldest >= acc.Load(da+dNextOID) {
+			continue // nothing undelivered
+		}
+		slot := db.orderSlot(oldest)
+		oa := db.orderAddr(in.W, d, slot)
+		acc.Store(oa+oCarrierID, in.Carrier)
+		n := int(acc.Load(oa + oOLCnt))
+		var total uint64
+		for l := 0; l < n; l++ {
+			ola := db.orderLineAddr(in.W, d, slot, l)
+			total += acc.Load(ola + olAmount)
+			acc.Store(ola+olDeliveryD, now)
+		}
+		c := int(acc.Load(oa + oCID))
+		ca := db.customerAddr(in.W, d, c)
+		acc.Store(ca+cBalance, acc.Load(ca+cBalance)+total)
+		acc.Store(ca+cDeliveryCnt, acc.Load(ca+cDeliveryCnt)+1)
+		acc.Store(da+dOldestUndeliv, oldest+1)
+		delivered++
+	}
+	return delivered
+}
+
+// StockLevelInput is a pre-drawn Stock-Level transaction.
+type StockLevelInput struct {
+	W, D      int
+	Threshold uint64 // spec: 10..20
+}
+
+// GenStockLevel draws Stock-Level inputs.
+func (db *DB) GenStockLevel(r *Rand) StockLevelInput {
+	return StockLevelInput{
+		W:         int(r.N(uint64(db.cfg.Warehouses))),
+		D:         int(r.N(uint64(db.cfg.DistrictsPerWH))),
+		Threshold: 10 + r.N(11),
+	}
+}
+
+// stockLevelOrders is the spec's scan depth: the 20 most recent orders.
+const stockLevelOrders = 20
+
+// StockLevel executes the read-only Stock-Level profile (§2.8.2): join the
+// district's 20 most recent orders' lines against the stock table and
+// count items below the threshold. This is the paper's long read-only
+// critical section — its footprint (≈ orders × lines × 2 cache lines)
+// exceeds every profile's effective HTM read capacity.
+func (db *DB) StockLevel(acc memmodel.Accessor, in StockLevelInput) int {
+	da := db.districtAddr(in.W, in.D)
+	next := acc.Load(da + dNextOID)
+	low := 0
+	seen := make(map[uint64]struct{}, 64)
+	for k := 0; k < stockLevelOrders && uint64(k) < next; k++ {
+		oid := next - 1 - uint64(k)
+		slot := db.orderSlot(oid)
+		oa := db.orderAddr(in.W, in.D, slot)
+		if acc.Load(oa+oID) != oid+1 {
+			continue // recycled slot
+		}
+		n := int(acc.Load(oa + oOLCnt))
+		for l := 0; l < n; l++ {
+			item := acc.Load(db.orderLineAddr(in.W, in.D, slot, l) + olItemID)
+			if _, dup := seen[item]; dup {
+				continue
+			}
+			seen[item] = struct{}{}
+			if acc.Load(db.stockAddr(in.W, int(item))+sQuantity) < in.Threshold {
+				low++
+			}
+		}
+	}
+	return low
+}

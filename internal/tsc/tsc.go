@@ -1,0 +1,55 @@
+// Package tsc provides the cycle-clock abstraction standing in for the
+// hardware timestamp counter (rdtsc on x86, the time base on POWER) that the
+// paper's scheduling heuristics read.
+//
+// SpRWL only needs a cheap, monotone, roughly cycle-granular time source for
+// its duration estimates and timed waits, so the real implementation is
+// backed by Go's monotonic clock with nanoseconds treated as cycles. Tests
+// and the discrete-event simulator substitute their own clocks.
+package tsc
+
+import "time"
+
+// Clock is a monotone cycle counter.
+type Clock interface {
+	// Now returns the current cycle count. Successive calls never
+	// decrease.
+	Now() uint64
+}
+
+// WallClock reads the host monotonic clock, reporting nanoseconds as cycles.
+// The zero value is ready to use; all copies share the same epoch (the
+// process-wide monotonic origin), so cycle values are comparable across
+// threads as the paper's timestamp counters are across cores.
+type WallClock struct{}
+
+var epoch = time.Now()
+
+// Now implements Clock.
+func (WallClock) Now() uint64 {
+	return uint64(time.Since(epoch))
+}
+
+// Manual is a hand-advanced clock for deterministic tests. It is not safe
+// for concurrent use with Advance; concurrent Now calls are safe only if the
+// clock is not being advanced.
+type Manual struct {
+	now uint64
+}
+
+// NewManual returns a Manual clock starting at start cycles.
+func NewManual(start uint64) *Manual { return &Manual{now: start} }
+
+// Now implements Clock.
+func (m *Manual) Now() uint64 { return m.now }
+
+// Advance moves the clock forward by d cycles.
+func (m *Manual) Advance(d uint64) { m.now += d }
+
+// Set moves the clock to t cycles. It panics if t would move time backwards.
+func (m *Manual) Set(t uint64) {
+	if t < m.now {
+		panic("tsc: Manual.Set moving time backwards")
+	}
+	m.now = t
+}

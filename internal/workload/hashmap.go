@@ -1,0 +1,131 @@
+// Package workload builds the paper's benchmark workloads (the §4.1
+// hashmap micro-benchmark and the §4.2 TPC-C port) on top of the shared
+// data-structure substrates, and drives them through any rwlock.Lock.
+package workload
+
+import (
+	"math/rand/v2"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/hashmap"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+)
+
+// Critical-section IDs used by the hashmap workload for duration
+// estimation.
+const (
+	csLookup = iota
+	csInsert
+	csDelete
+	// NumHashmapCS is the number of distinct hashmap critical sections.
+	NumHashmapCS
+)
+
+// HashmapConfig shapes the §4.1 micro-benchmark. The paper controls reader
+// size via LookupsPerRead (1 = fits HTM, 10 = overflows) and the update
+// ratio via UpdatePercent (10/50/90).
+type HashmapConfig struct {
+	Buckets        int
+	Items          int
+	LookupsPerRead int
+	UpdatePercent  int
+	// Headroom is extra node capacity (fraction of Items) for in-flight
+	// inserts; 0 selects a 1/8 default.
+	Headroom int
+}
+
+// Validate fills defaults and sanity-checks the configuration.
+func (c *HashmapConfig) Validate() {
+	if c.Buckets <= 0 {
+		c.Buckets = 512
+	}
+	if c.Items <= 0 {
+		c.Items = c.Buckets * 32
+	}
+	if c.LookupsPerRead <= 0 {
+		c.LookupsPerRead = 1
+	}
+	if c.UpdatePercent < 0 {
+		c.UpdatePercent = 0
+	}
+	if c.UpdatePercent > 100 {
+		c.UpdatePercent = 100
+	}
+	if c.Headroom <= 0 {
+		// The multiset size drifts upward early on (inserts always
+		// succeed, deletes fail on absent keys) before
+		// self-balancing; a quarter of the population covers the
+		// drift comfortably.
+		c.Headroom = c.Items/4 + 256
+	}
+}
+
+// HashmapWords returns the simulated-memory footprint the workload needs
+// (bucket array plus node storage including headroom).
+func HashmapWords(c HashmapConfig) int {
+	c.Validate()
+	return hashmap.Words(c.Buckets) + (c.Items+c.Headroom+1)*hashmap.NodeWords + memmodel.LineWords
+}
+
+// Hashmap is a built, populated instance of the micro-benchmark.
+type Hashmap struct {
+	Map  *hashmap.Map
+	Pool *alloc.Pool
+	cfg  HashmapConfig
+}
+
+// SetupHashmap carves the map out of ar, populates it through acc (a
+// cost-free provisioning accessor), and returns the driver.
+func SetupHashmap(acc memmodel.Accessor, ar *memmodel.Arena, cfg HashmapConfig, slots int) *Hashmap {
+	cfg.Validate()
+	pool := alloc.NewPool(ar, hashmap.NodeWords, slots)
+	m := hashmap.New(ar, cfg.Buckets, pool)
+	m.Populate(acc, cfg.Items)
+	return &Hashmap{Map: m, Pool: pool, cfg: cfg}
+}
+
+// Worker returns the per-thread operation step: each call executes one
+// critical section (a read section of LookupsPerRead lookups, or an
+// insert/delete write section) through the handle. Steps are driven by the
+// caller's loop so the harness controls the horizon.
+func (w *Hashmap) Worker(h rwlock.Handle, slot int, seed uint64) func() {
+	rng := rand.New(rand.NewPCG(seed, uint64(slot)+1))
+	cfg := w.cfg
+	keyspace := uint64(cfg.Items)
+	return func() {
+		if rng.IntN(100) < cfg.UpdatePercent {
+			key := rng.Uint64N(keyspace)
+			if rng.IntN(2) == 0 {
+				node := w.Pool.Get(slot)
+				h.Write(csInsert, func(acc memmodel.Accessor) {
+					w.Map.Insert(acc, key, key, node)
+				})
+			} else {
+				var freed memmodel.Addr
+				h.Write(csDelete, func(acc memmodel.Accessor) {
+					freed = w.Map.Delete(acc, key)
+				})
+				if freed != 0 {
+					w.Pool.Put(slot, freed)
+				}
+			}
+			return
+		}
+		h.Read(csLookup, func(acc memmodel.Accessor) {
+			for i := 0; i < cfg.LookupsPerRead; i++ {
+				w.Map.Lookup(acc, rng.Uint64N(keyspace))
+			}
+		})
+	}
+}
+
+// ReaderFootprintLines estimates the read critical section's line footprint
+// (mean chain length × lookups), used by tests to assert workload regimes.
+func (w *Hashmap) ReaderFootprintLines() int {
+	mean := w.cfg.Items / w.cfg.Buckets
+	if mean < 1 {
+		mean = 1
+	}
+	return mean * w.cfg.LookupsPerRead
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"sprwl/internal/alloc"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/skiplist"
+)
+
+// Critical-section IDs for the range-scan workload.
+const (
+	csScan = iota
+	csUpsert
+	csRemove
+	// NumRangeScanCS is the number of distinct range-scan critical
+	// sections.
+	NumRangeScanCS
+)
+
+// RangeScanConfig shapes the ordered-map workload from the paper's
+// introduction: long read-only range queries over a store receiving point
+// updates. Scan length is the reader-footprint knob (one to two lines per
+// visited node).
+type RangeScanConfig struct {
+	// Items is the key-space size; the map is fully populated at setup.
+	Items int
+	// ScanSpan is how many consecutive keys a read section visits.
+	ScanSpan int
+	// UpdatePercent is the fraction of write sections (upsert/remove).
+	UpdatePercent int
+}
+
+// Validate fills defaults.
+func (c *RangeScanConfig) Validate() {
+	if c.Items <= 0 {
+		c.Items = 16384
+	}
+	if c.ScanSpan <= 0 {
+		c.ScanSpan = 512
+	}
+	if c.UpdatePercent < 0 {
+		c.UpdatePercent = 0
+	}
+	if c.UpdatePercent > 100 {
+		c.UpdatePercent = 100
+	}
+}
+
+// RangeScanWords returns the simulated-memory footprint the workload needs.
+func RangeScanWords(c RangeScanConfig) int {
+	c.Validate()
+	nodeBlock := (skiplist.NodeWords + memmodel.LineWords - 1) / memmodel.LineWords * memmodel.LineWords
+	return skiplist.Words() + (c.Items+64)*nodeBlock + memmodel.LineWords
+}
+
+// RangeScan is a built, populated instance of the workload.
+type RangeScan struct {
+	List *skiplist.List
+	Pool *alloc.Pool
+	cfg  RangeScanConfig
+}
+
+// SetupRangeScan carves the list out of ar and populates it through acc.
+func SetupRangeScan(acc memmodel.Accessor, ar *memmodel.Arena, cfg RangeScanConfig, slots int) *RangeScan {
+	cfg.Validate()
+	pool := alloc.NewPool(ar, skiplist.NodeWords, slots)
+	list := skiplist.New(ar, pool)
+	list.Populate(acc, cfg.Items)
+	return &RangeScan{List: list, Pool: pool, cfg: cfg}
+}
+
+// Worker returns the per-thread step: a range scan (read section) or an
+// upsert/remove (write section). Keys stay within the populated key space,
+// so the node population is bounded by Items and deletes recycle nodes.
+func (w *RangeScan) Worker(h rwlock.Handle, slot int, seed uint64) func() {
+	rng := rand.New(rand.NewPCG(seed, uint64(slot)+101))
+	cfg := w.cfg
+	keyspace := uint64(cfg.Items)
+	return func() {
+		if rng.IntN(100) < cfg.UpdatePercent {
+			key := rng.Uint64N(keyspace)
+			if rng.IntN(2) == 0 {
+				node := w.Pool.Get(slot)
+				used := false
+				h.Write(csUpsert, func(acc memmodel.Accessor) {
+					used = w.List.Insert(acc, key, key, node)
+				})
+				if !used {
+					w.Pool.Put(slot, node)
+				}
+			} else {
+				var freed memmodel.Addr
+				h.Write(csRemove, func(acc memmodel.Accessor) {
+					freed = w.List.Delete(acc, key)
+				})
+				if freed != 0 {
+					w.Pool.Put(slot, freed)
+				}
+			}
+			return
+		}
+		lo := rng.Uint64N(keyspace)
+		h.Read(csScan, func(acc memmodel.Accessor) {
+			w.List.Range(acc, lo, lo+uint64(cfg.ScanSpan))
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+	"sprwl/internal/tpcc"
+)
+
+// Critical-section IDs for the five TPC-C profiles.
+const (
+	csNewOrder = iota
+	csPayment
+	csOrderStatus
+	csDelivery
+	csStockLevel
+	// NumTPCCCS is the number of distinct TPC-C critical sections.
+	NumTPCCCS
+)
+
+// TPCCMix is the paper's §4.2 transaction mix, in percent (it follows the
+// TPC-C spec's required minimums): Stock-Level 31, Delivery 4,
+// Order-Status 4, Payment 43, New-Order 18 — i.e. 35% read-only.
+type TPCCMix struct {
+	StockLevel, Delivery, OrderStatus, Payment, NewOrder int
+}
+
+// PaperMix returns the mix used throughout the paper's Fig. 7.
+func PaperMix() TPCCMix {
+	return TPCCMix{StockLevel: 31, Delivery: 4, OrderStatus: 4, Payment: 43, NewOrder: 18}
+}
+
+func (m TPCCMix) total() int {
+	return m.StockLevel + m.Delivery + m.OrderStatus + m.Payment + m.NewOrder
+}
+
+// TPCC drives a loaded TPC-C database through a lock.
+type TPCC struct {
+	DB  *tpcc.DB
+	mix TPCCMix
+}
+
+// TPCCWords returns the simulated-memory footprint for the scale.
+func TPCCWords(cfg tpcc.Config) int { return tpcc.Words(cfg) }
+
+// SetupTPCC lays out and loads the database.
+func SetupTPCC(acc memmodel.Accessor, ar *memmodel.Arena, cfg tpcc.Config, mix TPCCMix, seed uint64) *TPCC {
+	if mix.total() == 0 {
+		mix = PaperMix()
+	}
+	db := tpcc.New(ar, cfg)
+	db.Load(acc, seed)
+	return &TPCC{DB: db, mix: mix}
+}
+
+// Worker returns the per-thread step function: each call draws one
+// transaction from the mix and executes it as a critical section.
+// Transaction inputs are drawn before entering the section so retried
+// bodies replay identical work.
+func (w *TPCC) Worker(h rwlock.Handle, slot int, seed uint64, now func() uint64) func() {
+	rng := tpcc.NewWorkerRand(seed, slot)
+	db := w.DB
+	m := w.mix
+	total := m.total()
+	return func() {
+		pick := int(rng.N(uint64(total)))
+		switch {
+		case pick < m.StockLevel:
+			in := db.GenStockLevel(rng)
+			h.Read(csStockLevel, func(acc memmodel.Accessor) {
+				db.StockLevel(acc, in)
+			})
+		case pick < m.StockLevel+m.OrderStatus:
+			in := db.GenOrderStatus(rng)
+			h.Read(csOrderStatus, func(acc memmodel.Accessor) {
+				db.OrderStatus(acc, in)
+			})
+		case pick < m.StockLevel+m.OrderStatus+m.Delivery:
+			in := db.GenDelivery(rng)
+			h.Write(csDelivery, func(acc memmodel.Accessor) {
+				db.Delivery(acc, in, now())
+			})
+		case pick < m.StockLevel+m.OrderStatus+m.Delivery+m.Payment:
+			in := db.GenPayment(rng)
+			h.Write(csPayment, func(acc memmodel.Accessor) {
+				db.Payment(acc, in)
+			})
+		default:
+			in := db.GenNewOrder(rng)
+			h.Write(csNewOrder, func(acc memmodel.Accessor) {
+				db.NewOrder(acc, in, now())
+			})
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package sprwl
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewValidatesWords(t *testing.T) {
+	if _, err := New(Config{Threads: 2, Words: 8}); err == nil {
+		t.Fatal("New accepted an address space smaller than MinWords")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	l := MustNew(Config{Threads: 2, Words: MinWords(2) + 1024})
+	data := l.Arena().AllocLines(1)
+	h := l.Handle(0)
+	h.Write(0, func(m Accessor) { m.Store(data, 42) })
+	var got uint64
+	h.Read(1, func(m Accessor) { got = m.Load(data) })
+	if got != 42 {
+		t.Fatalf("read %d, want 42", got)
+	}
+	if s := l.Stats(); s.TotalOps() != 2 {
+		t.Fatalf("stats ops = %d, want 2", s.TotalOps())
+	}
+	if l.Name() != "SpRWL" {
+		t.Fatalf("Name = %q, want SpRWL", l.Name())
+	}
+}
+
+func TestVariantsThroughFacade(t *testing.T) {
+	for _, opts := range []Options{NoSchedOptions(), RWaitOptions(), RSyncOptions(), SNZIOptions()} {
+		l := MustNew(Config{Threads: 2, Words: MinWords(2) + 1024, Options: opts})
+		data := l.Arena().AllocLines(1)
+		h := l.Handle(0)
+		h.Write(0, func(m Accessor) { m.Store(data, 1) })
+		h.Read(1, func(m Accessor) {
+			if m.Load(data) != 1 {
+				t.Errorf("%s: read wrong value", l.Name())
+			}
+		})
+	}
+}
+
+func TestMachineProfileLimitsCapacity(t *testing.T) {
+	l := MustNew(Config{Threads: 1, Words: MinWords(1) + 1<<14, Machine: Power8()})
+	region := l.Arena().AllocLines(256)
+	h := l.Handle(0)
+	// A read touching 256 lines exceeds POWER8's 128-line capacity: it
+	// must still succeed, via the uninstrumented path.
+	h.Read(0, func(m Accessor) {
+		for i := 0; i < 256; i++ {
+			_ = m.Load(region + Addr(i*8))
+		}
+	})
+	s := l.Stats()
+	if s.TotalOps() != 1 {
+		t.Fatalf("ops = %d, want 1", s.TotalOps())
+	}
+}
+
+func TestConcurrentUseThroughFacade(t *testing.T) {
+	const threads = 4
+	l := MustNew(Config{Threads: threads, Words: MinWords(threads) + 4096})
+	x := l.Arena().AllocLines(1)
+	y := l.Arena().AllocLines(1)
+	var wg sync.WaitGroup
+	for s := 0; s < threads; s++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := l.Handle(slot)
+			for i := 0; i < 200; i++ {
+				if slot == 0 {
+					h.Write(0, func(m Accessor) {
+						v := m.Load(x) + 1
+						m.Store(x, v)
+						m.Store(y, v)
+					})
+				} else {
+					h.Read(1, func(m Accessor) {
+						if vx, vy := m.Load(x), m.Load(y); vx != vy {
+							t.Errorf("torn read: %d vs %d", vx, vy)
+						}
+					})
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
