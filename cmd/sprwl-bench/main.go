@@ -6,7 +6,12 @@
 //	sprwl-bench -exp fig3 -profile broadwell          # one figure
 //	sprwl-bench -exp all -profile power8 -quick       # smoke sweep
 //	sprwl-bench -exp fig3 -csv fig3.csv               # machine-readable
+//	sprwl-bench -exp all -quick -json bench.json      # JSON results
 //	sprwl-bench -mode real -algo SpRWL -threads 4     # library-plane point
+//	sprwl-bench -trace out.json -algo SpRWL -threads 8
+//	    # one hashmap point with the Chrome-trace sink attached; open
+//	    # out.json in chrome://tracing or https://ui.perfetto.dev
+//	sprwl-bench -trace out.json -waitprof             # plus wait/work table
 //
 // Simulated runs are deterministic: the same seed, flags and build produce
 // identical output.
@@ -21,6 +26,7 @@ import (
 
 	"sprwl/internal/harness"
 	"sprwl/internal/htm"
+	"sprwl/internal/obs"
 	"sprwl/internal/workload"
 )
 
@@ -33,24 +39,32 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "fig3", "experiment to run: fig3|fig4|fig5|fig6|fig7|extscan|extauto|extvsgl|all")
-		profile = flag.String("profile", "broadwell", "machine profile: broadwell|power8")
-		quick   = flag.Bool("quick", false, "thin sweeps and shorten horizons (smoke run)")
-		horizon = flag.Uint64("horizon", 0, "virtual cycles per data point (0 = default)")
-		seed    = flag.Uint64("seed", 1, "workload RNG seed")
-		csvPath = flag.String("csv", "", "also write results as CSV to this file")
-		verbose = flag.Bool("v", false, "print each data point as it completes")
+		exp      = flag.String("exp", "fig3", "experiment to run: fig3|fig4|fig5|fig6|fig7|extscan|extauto|extvsgl|all")
+		profile  = flag.String("profile", "broadwell", "machine profile: broadwell|power8")
+		quick    = flag.Bool("quick", false, "thin sweeps and shorten horizons (smoke run)")
+		horizon  = flag.Uint64("horizon", 0, "virtual cycles per data point (0 = default)")
+		seed     = flag.Uint64("seed", 1, "workload RNG seed")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+		jsonPath = flag.String("json", "", "also write results as JSON to this file")
+		verbose  = flag.Bool("v", false, "print each data point as it completes")
 
 		mode    = flag.String("mode", "sim", "sim (discrete-event figures) or real (library plane)")
-		algo    = flag.String("algo", harness.AlgoSpRWL, "real mode: algorithm ("+strings.Join(harness.AllAlgorithms(), "|")+")")
-		threads = flag.Int("threads", 2, "real mode: worker goroutines")
+		algo    = flag.String("algo", harness.AlgoSpRWL, "real/trace mode: algorithm ("+strings.Join(harness.AllAlgorithms(), "|")+")")
+		threads = flag.Int("threads", 2, "real/trace mode: worker goroutines")
 		millis  = flag.Uint64("millis", 200, "real mode: wall-clock run length")
+
+		tracePath = flag.String("trace", "", "run one hashmap point with a Chrome-trace sink and write the catapult JSON here")
+		waitprof  = flag.Bool("waitprof", false, "with -trace: also print the wait-vs-work profile table")
 	)
 	flag.Parse()
 
 	p, err := profileByName(*profile)
 	if err != nil {
 		return err
+	}
+
+	if *tracePath != "" {
+		return runTrace(*tracePath, *waitprof, *mode, *algo, *threads, p, *horizon, *seed, *millis)
 	}
 
 	if *mode == "real" {
@@ -91,6 +105,7 @@ func run() error {
 		defer csv.Close()
 	}
 
+	var reports []*harness.Report
 	for _, id := range ids {
 		rep, err := experiments[id](opts)
 		if err != nil {
@@ -101,6 +116,62 @@ func run() error {
 		if csv != nil {
 			rep.CSV(csv)
 		}
+		reports = append(reports, rep)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteJSON(f, reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTrace executes one hashmap data point with the Chrome-trace exporter
+// (and optionally the wait/work profiler) attached, writing the catapult
+// file to path. Simulated by default; -mode real traces the concurrent
+// runtime instead.
+func runTrace(path string, waitprof bool, mode, algo string, threads int, p htm.Profile, horizon, seed, millis uint64) error {
+	tr := obs.NewTraceSink(threads)
+	sinks := []obs.Sink{tr}
+	var prof *obs.ProfileSink
+	if waitprof {
+		prof = obs.NewProfileSink(threads)
+		sinks = append(sinks, prof)
+	}
+
+	wl := workload.HashmapConfig{Buckets: 256, Items: 16384, LookupsPerRead: 10, UpdatePercent: 10}
+	var pt harness.Point
+	var err error
+	if mode == "real" {
+		pt, err = harness.RunHashmapReal(algo, threads, p, wl, millis*1_000_000, seed, sinks...)
+	} else {
+		pt, err = harness.RunHashmapPoint(harness.HashmapPointConfig{
+			Algo: algo, Threads: threads, Profile: p,
+			Workload: wl, Horizon: horizon, Seed: seed, Sinks: sinks,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(pt)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d bytes to %s\n", n, path)
+	if prof != nil {
+		fmt.Print(prof.String())
 	}
 	return nil
 }

@@ -79,7 +79,7 @@ func run() error {
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(*threads)
-	lock, err := harness.BuildLock(*algo, e, ar, *threads, workload.NumTPCCCS, col)
+	lock, err := harness.BuildLock(*algo, e, ar, *threads, workload.NumTPCCCS, col.Pipeline())
 	if err != nil {
 		return err
 	}

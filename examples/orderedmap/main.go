@@ -59,7 +59,7 @@ func run() error {
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(threads)
-	lock, err := core.New(e, ar, threads, 4, core.DefaultOptions(), col)
+	lock, err := core.New(e, ar, threads, 4, core.DefaultOptions(), col.Pipeline())
 	if err != nil {
 		return err
 	}

@@ -63,13 +63,13 @@ func runUnder(algo string, scale tpcc.Config) (stats.Snapshot, error) {
 	var lock rwlock.Lock
 	switch algo {
 	case "SpRWL":
-		l, err := core.New(e, ar, threads, workload.NumTPCCCS, core.DefaultOptions(), col)
+		l, err := core.New(e, ar, threads, workload.NumTPCCCS, core.DefaultOptions(), col.Pipeline())
 		if err != nil {
 			return stats.Snapshot{}, err
 		}
 		lock = l
 	case "RWL":
-		lock = locks.NewRWL(e, ar, col)
+		lock = locks.NewRWL(e, ar, col.Pipeline())
 	}
 
 	db := workload.SetupTPCC(space, ar, scale, workload.PaperMix(), 7)

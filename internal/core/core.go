@@ -31,9 +31,9 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/locks"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
 	"sprwl/internal/snzi"
-	"sprwl/internal/stats"
 )
 
 // Per-thread state-array values (paper Alg. 1/2).
@@ -169,7 +169,7 @@ type Lock struct {
 	opts    Options
 	threads int
 	est     *ema.Estimator
-	col     *stats.Collector
+	pipe    *obs.Pipeline
 
 	state      memmodel.Addr // per-thread word, packed 8/line
 	clockW     memmodel.Addr // writers' predicted end times
@@ -200,8 +200,10 @@ func lineAlignedWords(n int) int {
 
 // New builds a SpRWL over e for the given thread count, carving its state
 // out of ar. numCS is the number of distinct critical-section IDs the
-// duration estimator tracks (§3.2.1); col may be nil.
-func New(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, col *stats.Collector) (*Lock, error) {
+// duration estimator tracks (§3.2.1). pipe is the observability pipeline
+// every scheduling decision and outcome is reported through; nil disables
+// instrumentation entirely.
+func New(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, pipe *obs.Pipeline) (*Lock, error) {
 	if threads < 1 {
 		return nil, errors.New("core: threads must be positive")
 	}
@@ -219,7 +221,7 @@ func New(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, col *s
 		opts:       opts,
 		threads:    threads,
 		est:        ema.NewEstimator(numCS, 0),
-		col:        col,
+		pipe:       pipe,
 		state:      ar.AllocWords(threads),
 		clockW:     ar.AllocWords(threads),
 		clockR:     ar.AllocWords(threads),
@@ -237,8 +239,8 @@ func New(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, col *s
 }
 
 // MustNew is New for static configurations; it panics on error.
-func MustNew(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, col *stats.Collector) *Lock {
-	l, err := New(e, ar, threads, numCS, opts, col)
+func MustNew(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, pipe *obs.Pipeline) *Lock {
+	l, err := New(e, ar, threads, numCS, opts, pipe)
 	if err != nil {
 		panic(err)
 	}
@@ -268,7 +270,7 @@ func (l *Lock) NewHandle(slot int) rwlock.Handle {
 	if slot < 0 || slot >= l.threads {
 		panic(fmt.Sprintf("core: slot %d out of range [0,%d)", slot, l.threads))
 	}
-	return &handle{l: l, slot: slot}
+	return &handle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
 }
 
 // handle is one thread's endpoint; see rwlock.Handle for the usage
@@ -276,6 +278,9 @@ func (l *Lock) NewHandle(slot int) rwlock.Handle {
 type handle struct {
 	l    *Lock
 	slot int
+	// ring is this thread's observability event buffer (nil when no
+	// pipeline is attached; all record methods are nil-safe).
+	ring *obs.Ring
 	// flaggedIn records which tracking structure this thread's active
 	// reader flag lives in (modeFlags or modeSNZI), so the unflag always
 	// retracts from the structure that was used.
@@ -296,20 +301,19 @@ func (l *Lock) sample(slot, csID int, cycles uint64) {
 	}
 }
 
-func (l *Lock) commit(slot int, k stats.Kind, m env.CommitMode) {
-	if l.col != nil {
-		l.col.Thread(slot).Commit(k, m)
+// spinWhileGLHeld parks the thread until the fallback lock clears,
+// reporting the stall as a WaitGL event when one actually occurred.
+func (h *handle) spinWhileGLHeld(rw uint8, csID int) {
+	l := h.l
+	waited := false
+	var t0 uint64
+	for l.gl.IsLocked() {
+		if !waited {
+			waited, t0 = true, l.e.Now()
+		}
+		l.e.Yield()
 	}
-}
-
-func (l *Lock) abort(slot int, k stats.Kind, c env.AbortCause) {
-	if l.col != nil {
-		l.col.Thread(slot).Abort(k, c)
-	}
-}
-
-func (l *Lock) latency(slot int, k stats.Kind, cycles uint64) {
-	if l.col != nil {
-		l.col.Thread(slot).Latency(k, cycles)
+	if waited {
+		h.ring.Wait(obs.WaitGL, rw, csID, t0, l.e.Now())
 	}
 }

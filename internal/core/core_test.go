@@ -28,7 +28,7 @@ func testSetup(t *testing.T, threads int, cfg htm.Config, opts Options) (*Lock, 
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(threads)
-	l, err := New(e, ar, threads, 8, opts, col)
+	l, err := New(e, ar, threads, 8, opts, col.Pipeline())
 	if err != nil {
 		t.Fatal(err)
 	}

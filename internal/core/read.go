@@ -2,8 +2,8 @@ package core
 
 import (
 	"sprwl/internal/env"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // Read implements rwlock.Handle: a SpRWL read-only critical section.
@@ -17,13 +17,12 @@ func (h *handle) Read(csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
 
-	if l.opts.ReaderHTMFirst && h.readTryHTM(csID, body) {
-		l.latency(h.slot, stats.Reader, l.e.Now()-start)
+	if l.opts.ReaderHTMFirst && h.readTryHTM(csID, start, body) {
 		return
 	}
 
 	if l.opts.ReaderSync {
-		h.readersWait()
+		h.readersWait(csID)
 	}
 	if l.opts.WriterSync {
 		// Advertise our predicted end time for Alg. 3's writer_wait,
@@ -31,7 +30,7 @@ func (h *handle) Read(csID int, body rwlock.Body) {
 		l.e.Store(l.clockRAddr(h.slot), l.est.EndTime(csID, l.e.Now()))
 	}
 
-	h.flagReaderAndSyncGL()
+	h.flagReaderAndSyncGL(csID)
 
 	bodyStart := l.e.Now()
 	body(l.e)
@@ -49,14 +48,13 @@ func (h *handle) Read(csID int, body rwlock.Body) {
 	if l.opts.AutoSNZI {
 		h.recordReaderDuration(bodyCycles)
 	}
-	l.commit(h.slot, stats.Reader, env.ModeUninstrumented)
-	l.latency(h.slot, stats.Reader, l.e.Now()-start)
+	h.ring.Section(obs.Reader, csID, env.ModeUninstrumented, start, l.e.Now())
 }
 
 // readTryHTM attempts the read-only section as a hardware transaction and
 // reports whether it committed. Capacity aborts fall back immediately; other
 // aborts burn budget (§3.4, same retry policy as writers).
-func (h *handle) readTryHTM(csID int, body rwlock.Body) bool {
+func (h *handle) readTryHTM(csID int, start uint64, body rwlock.Body) bool {
 	l := h.l
 	glAddr := l.gl.Addr()
 	for attempts := 0; attempts < l.opts.ReaderRetries; {
@@ -73,11 +71,12 @@ func (h *handle) readTryHTM(csID int, body rwlock.Body) bool {
 			body(tx)
 		})
 		if cause == env.Committed {
-			l.sample(h.slot, csID, l.e.Now()-bodyStart)
-			l.commit(h.slot, stats.Reader, env.ModeHTM)
+			now := l.e.Now()
+			l.sample(h.slot, csID, now-bodyStart)
+			h.ring.Section(obs.Reader, csID, env.ModeHTM, start, now)
 			return true
 		}
-		l.abort(h.slot, stats.Reader, cause)
+		h.ring.Abort(obs.Reader, csID, cause, l.e.Now())
 		if cause == env.AbortCapacity {
 			return false
 		}
@@ -88,7 +87,7 @@ func (h *handle) readTryHTM(csID int, body rwlock.Body) bool {
 
 // readersWait implements Alg. 2's Readers_Wait: wait for the active writer
 // predicted to complete last, or join a reader that is already waiting.
-func (h *handle) readersWait() {
+func (h *handle) readersWait(csID int) {
 	l := h.l
 	wait := -1
 	var maxWait uint64
@@ -110,6 +109,7 @@ func (h *handle) readersWait() {
 	if wait == -1 {
 		return
 	}
+	waitStart := l.e.Now()
 	l.e.Store(l.waitingForAddr(h.slot), uint64(wait+1))
 	if l.opts.TimedReaderWait {
 		// §3.4: sleep on the timestamp counter until the writer's
@@ -122,6 +122,7 @@ func (h *handle) readersWait() {
 		l.e.Yield()
 	}
 	l.e.Store(l.waitingForAddr(h.slot), 0)
+	h.ring.Wait(obs.WaitRSync, obs.Reader, csID, waitStart, l.e.Now())
 }
 
 // flagReaderAndSyncGL publishes the reader's presence and resolves the
@@ -137,7 +138,7 @@ func (h *handle) readersWait() {
 // older version and (2) no reader flag — and the reader transitions from
 // registration to flag in that order, so it is visible to the writer in at
 // least one of the two scans at every instant.
-func (h *handle) flagReaderAndSyncGL() {
+func (h *handle) flagReaderAndSyncGL(csID int) {
 	l := h.l
 	for {
 		// Cheap pre-wait while the fallback lock is held (the reader
@@ -148,9 +149,7 @@ func (h *handle) flagReaderAndSyncGL() {
 		// the safety handshake. (VersionedSGL readers must not park
 		// here — §3.3 lets them overtake newer fallback writers.)
 		if !l.opts.VersionedSGL {
-			for l.gl.IsLocked() {
-				l.e.Yield()
-			}
+			h.spinWhileGLHeld(obs.Reader, csID)
 		}
 		h.flagReader()
 		if !l.gl.IsLocked() {
@@ -158,9 +157,7 @@ func (h *handle) flagReaderAndSyncGL() {
 		}
 		h.unflagReader()
 		if !l.opts.VersionedSGL {
-			for l.gl.IsLocked() {
-				l.e.Yield()
-			}
+			h.spinWhileGLHeld(obs.Reader, csID)
 			continue
 		}
 		// Register against the observed version, validating that the
@@ -175,9 +172,11 @@ func (h *handle) flagReaderAndSyncGL() {
 				break
 			}
 		}
+		waitStart := l.e.Now()
 		for l.gl.IsLocked() && l.e.Load(l.glVer) <= observed {
 			l.e.Yield()
 		}
+		h.ring.Wait(obs.WaitGL, obs.Reader, csID, waitStart, l.e.Now())
 		if l.gl.IsLocked() {
 			// The version moved past us: the current fallback
 			// writer is gated on our registration. Flag first,

@@ -2,8 +2,8 @@ package core
 
 import (
 	"sprwl/internal/env"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // Write implements rwlock.Handle: a SpRWL updating critical section.
@@ -36,9 +36,7 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 	for {
 		// Alg. 1 line 34: do not even start while the fallback lock
 		// is held — the subscription inside would abort us at once.
-		for l.gl.IsLocked() {
-			l.e.Yield()
-		}
+		h.spinWhileGLHeld(obs.Writer, csID)
 		bodyStart := l.e.Now()
 		cause := l.e.Attempt(h.slot, env.TxOpts{}, func(tx env.TxAccessor) {
 			if tx.Load(glAddr) != 0 {
@@ -52,7 +50,7 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 			h.finishWrite(csID, start, env.ModeHTM)
 			return
 		}
-		l.abort(h.slot, stats.Writer, cause)
+		h.ring.Abort(obs.Writer, csID, cause, l.e.Now())
 		attempts++
 		if cause == env.AbortCapacity || attempts >= l.opts.MaxRetries {
 			break
@@ -64,11 +62,13 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 
 	// Pessimistic fallback (Alg. 1 lines 43–45).
 	h.lockGL()
-	h.waitForReaders()
+	glAcquired := l.e.Now()
+	h.waitForReaders(csID)
 	bodyStart := l.e.Now()
 	body(l.e)
 	l.sample(h.slot, csID, l.e.Now()-bodyStart)
 	l.gl.Unlock()
+	h.ring.SGL(csID, glAcquired, l.e.Now())
 	h.finishWrite(csID, start, env.ModeGL)
 }
 
@@ -79,8 +79,7 @@ func (h *handle) finishWrite(csID int, start uint64, mode env.CommitMode) {
 	if l.opts.ReaderSync {
 		l.e.Store(l.stateAddr(h.slot), stateEmpty)
 	}
-	l.commit(h.slot, stats.Writer, mode)
-	l.latency(h.slot, stats.Writer, l.e.Now()-start)
+	h.ring.Section(obs.Writer, csID, mode, start, l.e.Now())
 }
 
 // checkForReaders is Alg. 1's commit-time check, executed inside the
@@ -124,8 +123,9 @@ func (h *handle) writerWait(csID int) {
 		delta := dur / 2
 		wait -= dur - delta // i.e. wait - dur + δ
 	}
-	if wait > l.e.Now() {
+	if now := l.e.Now(); wait > now {
 		l.e.WaitUntil(wait)
+		h.ring.Wait(obs.WaitWSync, obs.Writer, csID, now, l.e.Now())
 	}
 }
 
@@ -161,21 +161,22 @@ func (h *handle) lockGL() {
 // uninstrumented reader to finish. New readers cannot start meanwhile —
 // they flag, observe the held lock, retract, and wait — which is what makes
 // this wait finite even under a constant reader stream (§3.3).
-func (h *handle) waitForReaders() {
+func (h *handle) waitForReaders(csID int) {
 	l := h.l
+	drainStart := l.e.Now()
 	if l.opts.AutoSNZI || l.opts.UseSNZI {
 		for l.z.Query() {
 			l.e.Yield()
 		}
-		if !l.opts.AutoSNZI {
-			return
+		if l.opts.AutoSNZI {
+			// Adaptive mode: readers may be flagged in either
+			// structure.
+			h.drainFlags()
 		}
-		// Adaptive mode: readers may be flagged in either structure.
 	} else {
 		h.drainFlags()
-		return
 	}
-	h.drainFlags()
+	h.ring.Wait(obs.WaitDrain, obs.Writer, csID, drainStart, l.e.Now())
 }
 
 var _ rwlock.Handle = (*handle)(nil)

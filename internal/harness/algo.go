@@ -11,9 +11,9 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/locks"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwle"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 	"sprwl/internal/tle"
 )
 
@@ -55,39 +55,41 @@ func LockWords(threads int) int {
 }
 
 // BuildLock constructs the named algorithm over e, carving lock state from
-// ar. numCS sizes the duration estimator for SpRWL variants.
-func BuildLock(name string, e env.Env, ar *memmodel.Arena, threads, numCS int, col *stats.Collector) (rwlock.Lock, error) {
+// ar. numCS sizes the duration estimator for SpRWL variants. pipe is the
+// observability pipeline the lock reports through; nil disables
+// instrumentation.
+func BuildLock(name string, e env.Env, ar *memmodel.Arena, threads, numCS int, pipe *obs.Pipeline) (rwlock.Lock, error) {
 	switch name {
 	case AlgoSpRWL:
-		return core.New(e, ar, threads, numCS, core.DefaultOptions(), col)
+		return core.New(e, ar, threads, numCS, core.DefaultOptions(), pipe)
 	case AlgoSpRWLSNZI:
-		return core.New(e, ar, threads, numCS, core.SNZIOptions(), col)
+		return core.New(e, ar, threads, numCS, core.SNZIOptions(), pipe)
 	case AlgoSpRWLNoSched:
-		return core.New(e, ar, threads, numCS, core.NoSchedOptions(), col)
+		return core.New(e, ar, threads, numCS, core.NoSchedOptions(), pipe)
 	case AlgoSpRWLRWait:
-		return core.New(e, ar, threads, numCS, core.RWaitOptions(), col)
+		return core.New(e, ar, threads, numCS, core.RWaitOptions(), pipe)
 	case AlgoSpRWLRSync:
-		return core.New(e, ar, threads, numCS, core.RSyncOptions(), col)
+		return core.New(e, ar, threads, numCS, core.RSyncOptions(), pipe)
 	case AlgoSpRWLVSGL:
 		opts := core.DefaultOptions()
 		opts.VersionedSGL = true
-		return core.New(e, ar, threads, numCS, opts, col)
+		return core.New(e, ar, threads, numCS, opts, pipe)
 	case AlgoSpRWLAuto:
-		return core.New(e, ar, threads, numCS, core.AutoSNZIOptions(), col)
+		return core.New(e, ar, threads, numCS, core.AutoSNZIOptions(), pipe)
 	case AlgoTLE:
-		return tle.New(e, ar, 0, col), nil
+		return tle.New(e, ar, 0, pipe), nil
 	case AlgoRWLE:
-		return rwle.New(e, ar, threads, 0, 0, col), nil
+		return rwle.New(e, ar, threads, 0, 0, pipe), nil
 	case AlgoRWL:
-		return locks.NewRWL(e, ar, col), nil
+		return locks.NewRWL(e, ar, pipe), nil
 	case AlgoBRLock:
-		return locks.NewBRLock(e, ar, threads, col), nil
+		return locks.NewBRLock(e, ar, threads, pipe), nil
 	case AlgoPFRWL:
-		return locks.NewPFRWL(e, ar, col), nil
+		return locks.NewPFRWL(e, ar, pipe), nil
 	case AlgoPRWL:
-		return locks.NewPRWL(e, ar, threads, col), nil
+		return locks.NewPRWL(e, ar, threads, pipe), nil
 	case AlgoMCSRW:
-		return locks.NewMCSRW(e, ar, threads, col), nil
+		return locks.NewMCSRW(e, ar, threads, pipe), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown algorithm %q", name)
 	}

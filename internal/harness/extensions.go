@@ -41,7 +41,7 @@ func RunRangeScanPoint(cfg RangeScanPointConfig) (Point, error) {
 	space := eng.Space()
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(cfg.Threads)
-	lock, err := BuildLock(cfg.Algo, e, ar, cfg.Threads, workload.NumRangeScanCS, col)
+	lock, err := BuildLock(cfg.Algo, e, ar, cfg.Threads, workload.NumRangeScanCS, col.Pipeline())
 	if err != nil {
 		return Point{}, err
 	}

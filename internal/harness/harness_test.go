@@ -16,7 +16,7 @@ func TestBuildLockKnowsEveryAlgorithm(t *testing.T) {
 		space := htm.MustNewSpace(htm.Config{Threads: 4, Words: LockWords(4) + 1024})
 		e := htm.NewRuntime(space, nil)
 		ar := memmodel.NewArena(0, space.Size())
-		l, err := BuildLock(name, e, ar, 4, 4, stats.NewCollector(4))
+		l, err := BuildLock(name, e, ar, 4, 4, stats.NewCollector(4).Pipeline())
 		if err != nil {
 			t.Errorf("BuildLock(%q): %v", name, err)
 			continue

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -55,6 +56,14 @@ func (r *Report) CSV(w io.Writer) {
 				p.ReaderLatency, p.WriterLatency, p.ReaderP99, p.WriterP99)
 		}
 	}
+}
+
+// WriteJSON renders the given reports as an indented JSON document, the
+// format BENCH_baseline.json is committed in.
+func WriteJSON(w io.Writer, reports []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
 }
 
 // Best returns the point with the highest throughput for algo across all

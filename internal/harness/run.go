@@ -6,6 +6,7 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/sim"
 	"sprwl/internal/stats"
 	"sprwl/internal/workload"
@@ -80,6 +81,10 @@ type HashmapPointConfig struct {
 	Horizon uint64
 	// Seed feeds the per-thread workload RNGs.
 	Seed uint64
+	// Sinks are extra observability sinks (trace exporters, profilers)
+	// attached ahead of the stats collector. When any are present, the
+	// engine also emits per-attempt transaction events (obs.EvTx).
+	Sinks []obs.Sink
 }
 
 // RunHashmapPoint executes one deterministic simulated measurement.
@@ -101,7 +106,11 @@ func RunHashmapPoint(cfg HashmapPointConfig) (Point, error) {
 	space := eng.Space()
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(cfg.Threads)
-	lock, err := BuildLock(cfg.Algo, e, ar, cfg.Threads, workload.NumHashmapCS, col)
+	pipe := col.Pipeline(cfg.Sinks...)
+	if len(cfg.Sinks) > 0 {
+		eng.AttachObs(pipe)
+	}
+	lock, err := BuildLock(cfg.Algo, e, ar, cfg.Threads, workload.NumHashmapCS, pipe)
 	if err != nil {
 		return Point{}, err
 	}
@@ -126,8 +135,10 @@ func RunHashmapPoint(cfg HashmapPointConfig) (Point, error) {
 // RunHashmapReal executes the same workload on the real concurrent runtime
 // (goroutines over the htm emulation) for wallNanos nanoseconds. It
 // exercises the library plane end-to-end; scaling numbers are bounded by
-// the host's core count and are not used for the paper's figures.
-func RunHashmapReal(algo string, threads int, profile htm.Profile, wl workload.HashmapConfig, wallNanos uint64, seed uint64) (Point, error) {
+// the host's core count and are not used for the paper's figures. Extra
+// observability sinks (trace exporters, profilers) may be attached; when
+// any are present the runtime also emits per-attempt transaction events.
+func RunHashmapReal(algo string, threads int, profile htm.Profile, wl workload.HashmapConfig, wallNanos uint64, seed uint64, sinks ...obs.Sink) (Point, error) {
 	wl.Validate()
 	words := workload.HashmapWords(wl) + LockWords(threads)
 	rCap, wCap := profile.EffectiveCapacity(threads)
@@ -143,7 +154,11 @@ func RunHashmapReal(algo string, threads int, profile htm.Profile, wl workload.H
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(threads)
-	lock, err := BuildLock(algo, e, ar, threads, workload.NumHashmapCS, col)
+	pipe := col.Pipeline(sinks...)
+	if len(sinks) > 0 {
+		e.AttachObs(pipe)
+	}
+	lock, err := BuildLock(algo, e, ar, threads, workload.NumHashmapCS, pipe)
 	if err != nil {
 		return Point{}, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/tsc"
 )
 
@@ -17,6 +18,7 @@ import (
 type Runtime struct {
 	space *Space
 	clock tsc.Clock
+	pipe  *obs.Pipeline
 }
 
 var _ env.Env = (*Runtime)(nil)
@@ -33,6 +35,12 @@ func NewRuntime(space *Space, clock tsc.Clock) *Runtime {
 // Space returns the underlying address space, for provisioning.
 func (r *Runtime) Space() *Space { return r.space }
 
+// AttachObs routes per-attempt hardware transaction events (obs.EvTx) into
+// pipe's per-thread rings, one event per Attempt with its outcome and time
+// span. Detached (the default), Attempt emits nothing and pays no
+// instrumentation cost. Attach before handing the runtime to workers.
+func (r *Runtime) AttachObs(pipe *obs.Pipeline) { r.pipe = pipe }
+
 // Load implements env.Env.
 func (r *Runtime) Load(a memmodel.Addr) uint64 { return r.space.Load(a) }
 
@@ -47,7 +55,13 @@ func (r *Runtime) Add(a memmodel.Addr, d uint64) uint64 { return r.space.Add(a, 
 
 // Attempt implements env.Env.
 func (r *Runtime) Attempt(slot int, opts env.TxOpts, body func(tx env.TxAccessor)) env.AbortCause {
-	return r.space.Attempt(slot, opts, body)
+	if r.pipe == nil {
+		return r.space.Attempt(slot, opts, body)
+	}
+	start := r.clock.Now()
+	cause := r.space.Attempt(slot, opts, body)
+	r.pipe.Thread(slot).Tx(-1, cause, start, r.clock.Now())
+	return cause
 }
 
 // Now implements env.Env.

@@ -3,8 +3,8 @@ package locks
 import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // BRLock is the Linux "Big Reader Lock" baseline [Corbet, LWN]: each thread
@@ -18,20 +18,20 @@ type BRLock struct {
 	writer  SpinMutex
 	perThr  memmodel.Addr // threads consecutive lines
 	threads int
-	col     *stats.Collector
+	pipe    *obs.Pipeline
 }
 
 var _ rwlock.Lock = (*BRLock)(nil)
 
 // NewBRLock carves the lock out of the arena for the given thread count.
-// col may be nil.
-func NewBRLock(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector) *BRLock {
+// pipe may be nil.
+func NewBRLock(e env.Env, ar *memmodel.Arena, threads int, pipe *obs.Pipeline) *BRLock {
 	return &BRLock{
 		e:       e,
 		writer:  NewSpinMutex(e, ar.AllocLines(1)),
 		perThr:  ar.AllocLines(threads),
 		threads: threads,
-		col:     col,
+		pipe:    pipe,
 	}
 }
 
@@ -39,7 +39,9 @@ func NewBRLock(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector)
 func (*BRLock) Name() string { return "BRLock" }
 
 // NewHandle implements rwlock.Lock.
-func (l *BRLock) NewHandle(slot int) rwlock.Handle { return &brHandle{l: l, slot: slot} }
+func (l *BRLock) NewHandle(slot int) rwlock.Handle {
+	return &brHandle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+}
 
 func (l *BRLock) threadMutex(slot int) SpinMutex {
 	return NewSpinMutex(l.e, l.perThr+memmodel.Addr(slot*memmodel.LineWords))
@@ -48,28 +50,29 @@ func (l *BRLock) threadMutex(slot int) SpinMutex {
 type brHandle struct {
 	l    *BRLock
 	slot int
+	ring *obs.Ring
 }
 
 func (h *brHandle) Read(csID int, body rwlock.Body) {
 	start := h.l.e.Now()
 	m := h.l.threadMutex(h.slot)
-	blockingLock(h.l.e, m)
+	blockingLock(h.l.e, m, h.ring, obs.Reader, csID)
 	body(h.l.e)
 	m.Unlock()
-	recordPessimistic(h.l.col, h.slot, stats.Reader, h.l.e.Now()-start)
+	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, h.l.e.Now())
 }
 
 func (h *brHandle) Write(csID int, body rwlock.Body) {
 	start := h.l.e.Now()
 	l := h.l
-	blockingLock(l.e, l.writer)
+	blockingLock(l.e, l.writer, h.ring, obs.Writer, csID)
 	for i := 0; i < l.threads; i++ {
-		blockingLock(l.e, l.threadMutex(i))
+		blockingLock(l.e, l.threadMutex(i), h.ring, obs.Writer, csID)
 	}
 	body(l.e)
 	for i := l.threads - 1; i >= 0; i-- {
 		l.threadMutex(i).Unlock()
 	}
 	l.writer.Unlock()
-	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+	h.ring.Section(obs.Writer, csID, env.ModePessimistic, start, l.e.Now())
 }

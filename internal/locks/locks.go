@@ -8,13 +8,16 @@
 // All lock state lives in simulated memory and is manipulated through an
 // env.Env, so the same implementations run under the real concurrent
 // runtime and under the discrete-event simulator that regenerates the
-// paper's figures.
+// paper's figures. Instrumentation goes through per-thread obs rings:
+// completed critical sections are EvSection events in ModePessimistic, and
+// acquisition stalls that actually paused are EvWait events with the
+// WaitLock reason.
 package locks
 
 import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
-	"sprwl/internal/stats"
+	"sprwl/internal/obs"
 )
 
 // SpinMutex is a test-and-test-and-set spin lock on a single simulated
@@ -67,14 +70,21 @@ const (
 	pessimisticWakeCycles = 4000
 )
 
-// waiter is a spin-then-block wait strategy.
+// waiter is a spin-then-block wait strategy. It remembers when it first
+// paused so the stall can be reported as an observability event.
 type waiter struct {
-	e     env.Env
-	spins int
+	e      env.Env
+	spins  int
+	waited bool
+	t0     uint64
 }
 
 // pause is called once per failed acquisition check.
 func (w *waiter) pause() {
+	if !w.waited {
+		w.waited = true
+		w.t0 = w.e.Now()
+	}
 	if w.spins < pessimisticSpinLimit {
 		w.spins++
 		w.e.Yield()
@@ -83,20 +93,20 @@ func (w *waiter) pause() {
 	w.e.WaitUntil(w.e.Now() + pessimisticWakeCycles)
 }
 
-// blockingLock acquires m with the pessimistic wait strategy.
-func blockingLock(e env.Env, m SpinMutex) {
+// report emits the accumulated stall as a WaitLock event, if any pause
+// occurred; an uncontended acquisition emits nothing.
+func (w *waiter) report(ring *obs.Ring, rw uint8, csID int) {
+	if w.waited {
+		ring.Wait(obs.WaitLock, rw, csID, w.t0, w.e.Now())
+	}
+}
+
+// blockingLock acquires m with the pessimistic wait strategy, reporting the
+// stall (if any) through ring.
+func blockingLock(e env.Env, m SpinMutex, ring *obs.Ring, rw uint8, csID int) {
 	w := waiter{e: e}
 	for !m.TryLock() {
 		w.pause()
 	}
-}
-
-// recordPessimistic books one completed pessimistic critical section and
-// its end-to-end latency.
-func recordPessimistic(c *stats.Collector, slot int, k stats.Kind, latency uint64) {
-	if c != nil {
-		t := c.Thread(slot)
-		t.Commit(k, env.ModePessimistic)
-		t.Latency(k, latency)
-	}
+	w.report(ring, rw, csID)
 }

@@ -9,6 +9,7 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
 	"sprwl/internal/stats"
 )
@@ -27,25 +28,25 @@ func testEnv(t *testing.T, threads int) (env.Env, *memmodel.Arena) {
 // lockMaker builds one lock implementation over an environment.
 type lockMaker struct {
 	name string
-	make func(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector) rwlock.Lock
+	make func(e env.Env, ar *memmodel.Arena, threads int, pipe *obs.Pipeline) rwlock.Lock
 }
 
 func allLocks() []lockMaker {
 	return []lockMaker{
-		{"RWL", func(e env.Env, ar *memmodel.Arena, _ int, col *stats.Collector) rwlock.Lock {
-			return NewRWL(e, ar, col)
+		{"RWL", func(e env.Env, ar *memmodel.Arena, _ int, pipe *obs.Pipeline) rwlock.Lock {
+			return NewRWL(e, ar, pipe)
 		}},
-		{"BRLock", func(e env.Env, ar *memmodel.Arena, n int, col *stats.Collector) rwlock.Lock {
-			return NewBRLock(e, ar, n, col)
+		{"BRLock", func(e env.Env, ar *memmodel.Arena, n int, pipe *obs.Pipeline) rwlock.Lock {
+			return NewBRLock(e, ar, n, pipe)
 		}},
-		{"PFRWL", func(e env.Env, ar *memmodel.Arena, _ int, col *stats.Collector) rwlock.Lock {
-			return NewPFRWL(e, ar, col)
+		{"PFRWL", func(e env.Env, ar *memmodel.Arena, _ int, pipe *obs.Pipeline) rwlock.Lock {
+			return NewPFRWL(e, ar, pipe)
 		}},
-		{"PRWL", func(e env.Env, ar *memmodel.Arena, n int, col *stats.Collector) rwlock.Lock {
-			return NewPRWL(e, ar, n, col)
+		{"PRWL", func(e env.Env, ar *memmodel.Arena, n int, pipe *obs.Pipeline) rwlock.Lock {
+			return NewPRWL(e, ar, n, pipe)
 		}},
-		{"MCS-RW", func(e env.Env, ar *memmodel.Arena, n int, col *stats.Collector) rwlock.Lock {
-			return NewMCSRW(e, ar, n, col)
+		{"MCS-RW", func(e env.Env, ar *memmodel.Arena, n int, pipe *obs.Pipeline) rwlock.Lock {
+			return NewMCSRW(e, ar, n, pipe)
 		}},
 	}
 }
@@ -261,7 +262,7 @@ func TestStatsRecorded(t *testing.T) {
 		t.Run(lm.name, func(t *testing.T) {
 			e, ar := testEnv(t, 2)
 			col := stats.NewCollector(2)
-			l := lm.make(e, ar, 2, col)
+			l := lm.make(e, ar, 2, col.Pipeline())
 			h := l.NewHandle(0)
 			h.Read(0, func(acc memmodel.Accessor) {})
 			h.Write(1, func(acc memmodel.Accessor) {})

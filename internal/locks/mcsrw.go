@@ -3,8 +3,8 @@ package locks
 import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // MCSRW is the fair queue-based reader-writer lock of Mellor-Crummey and
@@ -24,7 +24,7 @@ type MCSRW struct {
 	rdrCount   memmodel.Addr
 	nextWriter memmodel.Addr // qnode address, 0 = none
 	nodes      memmodel.Addr // one line per thread
-	col        *stats.Collector
+	pipe       *obs.Pipeline
 }
 
 // Queue-node layout (word offsets) and state-word encoding.
@@ -46,15 +46,15 @@ const (
 var _ rwlock.Lock = (*MCSRW)(nil)
 
 // NewMCSRW carves the lock out of the arena for the given thread count.
-// col may be nil.
-func NewMCSRW(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector) *MCSRW {
+// pipe may be nil.
+func NewMCSRW(e env.Env, ar *memmodel.Arena, threads int, pipe *obs.Pipeline) *MCSRW {
 	return &MCSRW{
 		e:          e,
 		tail:       ar.AllocLines(1),
 		rdrCount:   ar.AllocLines(1),
 		nextWriter: ar.AllocLines(1),
 		nodes:      ar.AllocLines(threads),
-		col:        col,
+		pipe:       pipe,
 	}
 }
 
@@ -62,7 +62,9 @@ func NewMCSRW(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector) 
 func (*MCSRW) Name() string { return "MCS-RW" }
 
 // NewHandle implements rwlock.Lock.
-func (l *MCSRW) NewHandle(slot int) rwlock.Handle { return &mcsHandle{l: l, slot: slot} }
+func (l *MCSRW) NewHandle(slot int) rwlock.Handle {
+	return &mcsHandle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+}
 
 func (l *MCSRW) node(slot int) memmodel.Addr {
 	return l.nodes + memmodel.Addr(slot*memmodel.LineWords)
@@ -86,6 +88,7 @@ func (l *MCSRW) unblock(n memmodel.Addr) {
 type mcsHandle struct {
 	l    *MCSRW
 	slot int
+	ring *obs.Ring
 }
 
 func (h *mcsHandle) Read(csID int, body rwlock.Body) {
@@ -112,6 +115,7 @@ func (h *mcsHandle) Read(csID int, body rwlock.Body) {
 			for l.e.Load(I+qState)&mcsBlocked != 0 {
 				w.pause()
 			}
+			w.report(h.ring, obs.Reader, csID)
 		} else {
 			l.e.Add(l.rdrCount, 1)
 			l.e.Store(pred+qNext, uint64(I))
@@ -147,7 +151,7 @@ func (h *mcsHandle) Read(csID int, body rwlock.Body) {
 			l.unblock(memmodel.Addr(wtr))
 		}
 	}
-	recordPessimistic(l.col, h.slot, stats.Reader, l.e.Now()-start)
+	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, l.e.Now())
 }
 
 func (h *mcsHandle) Write(csID int, body rwlock.Body) {
@@ -174,11 +178,15 @@ func (h *mcsHandle) Write(csID int, body rwlock.Body) {
 	for l.e.Load(I+qState)&mcsBlocked != 0 {
 		w.pause()
 	}
+	w.report(h.ring, obs.Writer, csID)
 
 	body(l.e)
 
 	// Exit: pass the lock to the successor, whatever its class.
 	if l.e.Load(I+qNext) != 0 || !l.e.CAS(l.tail, uint64(I), 0) {
+		// Track the handoff wait separately, but keep the waiter's spin
+		// budget: the seed semantics carry exhausted spins into this loop.
+		w.waited, w.t0 = false, 0
 		for l.e.Load(I+qNext) == 0 {
 			w.pause()
 		}
@@ -188,7 +196,7 @@ func (h *mcsHandle) Write(csID int, body rwlock.Body) {
 		}
 		l.unblock(next)
 	}
-	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+	h.ring.Section(obs.Writer, csID, env.ModePessimistic, start, l.e.Now())
 }
 
 // swapTail atomically exchanges the queue tail, returning the previous

@@ -3,8 +3,8 @@ package locks
 import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // PFRWL is the phase-fair reader-writer lock of Brandenburg and Anderson
@@ -20,7 +20,7 @@ import (
 type PFRWL struct {
 	e                    env.Env
 	rin, rout, win, wout memmodel.Addr
-	col                  *stats.Collector
+	pipe                 *obs.Pipeline
 }
 
 const (
@@ -32,15 +32,15 @@ const (
 
 var _ rwlock.Lock = (*PFRWL)(nil)
 
-// NewPFRWL carves the lock out of the arena. col may be nil.
-func NewPFRWL(e env.Env, ar *memmodel.Arena, col *stats.Collector) *PFRWL {
+// NewPFRWL carves the lock out of the arena. pipe may be nil.
+func NewPFRWL(e env.Env, ar *memmodel.Arena, pipe *obs.Pipeline) *PFRWL {
 	return &PFRWL{
 		e:    e,
 		rin:  ar.AllocLines(1),
 		rout: ar.AllocLines(1),
 		win:  ar.AllocLines(1),
 		wout: ar.AllocLines(1),
-		col:  col,
+		pipe: pipe,
 	}
 }
 
@@ -48,11 +48,14 @@ func NewPFRWL(e env.Env, ar *memmodel.Arena, col *stats.Collector) *PFRWL {
 func (*PFRWL) Name() string { return "PFRWL" }
 
 // NewHandle implements rwlock.Lock.
-func (l *PFRWL) NewHandle(slot int) rwlock.Handle { return &pfHandle{l: l, slot: slot} }
+func (l *PFRWL) NewHandle(slot int) rwlock.Handle {
+	return &pfHandle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+}
 
 type pfHandle struct {
 	l    *PFRWL
 	slot int
+	ring *obs.Ring
 }
 
 func (h *pfHandle) Read(csID int, body rwlock.Body) {
@@ -69,10 +72,11 @@ func (h *pfHandle) Read(csID int, body rwlock.Body) {
 		for l.e.Load(l.rin)&pfWriterBits == w {
 			wt.pause()
 		}
+		wt.report(h.ring, obs.Reader, csID)
 	}
 	body(l.e)
 	l.e.Add(l.rout, pfReaderInc)
-	recordPessimistic(l.col, h.slot, stats.Reader, l.e.Now()-start)
+	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, l.e.Now())
 }
 
 func (h *pfHandle) Write(csID int, body rwlock.Body) {
@@ -84,6 +88,7 @@ func (h *pfHandle) Write(csID int, body rwlock.Body) {
 	for l.e.Load(l.wout) != ticket {
 		wt.pause()
 	}
+	wt.report(h.ring, obs.Writer, csID)
 	// Announce presence with the phase bit of our ticket, blocking new
 	// readers, and capture the reader count at entry.
 	w := pfPresent | (ticket & pfPhase)
@@ -93,6 +98,7 @@ func (h *pfHandle) Write(csID int, body rwlock.Body) {
 	for l.e.Load(l.rout) != rticket {
 		wt.pause()
 	}
+	wt.report(h.ring, obs.Writer, csID)
 	body(l.e)
 	// Release: clear the writer bits (admitting blocked readers), then
 	// pass the ticket baton.
@@ -103,5 +109,5 @@ func (h *pfHandle) Write(csID int, body rwlock.Body) {
 		}
 	}
 	l.e.Add(l.wout, 1)
-	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+	h.ring.Section(obs.Writer, csID, env.ModePessimistic, start, l.e.Now())
 }

@@ -3,8 +3,8 @@ package locks
 import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // PRWL is the Passive Reader-Writer Lock of Liu, Zhang and Chen
@@ -22,21 +22,21 @@ type PRWL struct {
 	wmutex  SpinMutex
 	status  memmodel.Addr // per-thread line: version<<1 | active
 	threads int
-	col     *stats.Collector
+	pipe    *obs.Pipeline
 }
 
 var _ rwlock.Lock = (*PRWL)(nil)
 
 // NewPRWL carves the lock out of the arena for the given thread count.
-// col may be nil.
-func NewPRWL(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector) *PRWL {
+// pipe may be nil.
+func NewPRWL(e env.Env, ar *memmodel.Arena, threads int, pipe *obs.Pipeline) *PRWL {
 	return &PRWL{
 		e:       e,
 		version: ar.AllocLines(1),
 		wmutex:  NewSpinMutex(e, ar.AllocLines(1)),
 		status:  ar.AllocLines(threads),
 		threads: threads,
-		col:     col,
+		pipe:    pipe,
 	}
 }
 
@@ -44,7 +44,9 @@ func NewPRWL(e env.Env, ar *memmodel.Arena, threads int, col *stats.Collector) *
 func (*PRWL) Name() string { return "PRWL" }
 
 // NewHandle implements rwlock.Lock.
-func (l *PRWL) NewHandle(slot int) rwlock.Handle { return &prwlHandle{l: l, slot: slot} }
+func (l *PRWL) NewHandle(slot int) rwlock.Handle {
+	return &prwlHandle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+}
 
 func (l *PRWL) statusAddr(slot int) memmodel.Addr {
 	return l.status + memmodel.Addr(slot*memmodel.LineWords)
@@ -53,6 +55,7 @@ func (l *PRWL) statusAddr(slot int) memmodel.Addr {
 type prwlHandle struct {
 	l    *PRWL
 	slot int
+	ring *obs.Ring
 }
 
 func (h *prwlHandle) Read(csID int, body rwlock.Body) {
@@ -72,16 +75,17 @@ func (h *prwlHandle) Read(csID int, body rwlock.Body) {
 		for l.wmutex.IsLocked() {
 			wt.pause()
 		}
+		wt.report(h.ring, obs.Reader, csID)
 	}
 	body(l.e)
 	l.e.Store(st, 0)
-	recordPessimistic(l.col, h.slot, stats.Reader, l.e.Now()-start)
+	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, l.e.Now())
 }
 
 func (h *prwlHandle) Write(csID int, body rwlock.Body) {
 	start := h.l.e.Now()
 	l := h.l
-	blockingLock(l.e, l.wmutex)
+	blockingLock(l.e, l.wmutex, h.ring, obs.Writer, csID)
 	newv := l.e.Add(l.version, 1)
 	// Wait for every reader to be inactive or to have entered at the new
 	// version (which cannot happen while we hold the writer mutex — the
@@ -96,8 +100,9 @@ func (h *prwlHandle) Write(csID int, body rwlock.Body) {
 			}
 			wt.pause()
 		}
+		wt.report(h.ring, obs.Writer, csID)
 	}
 	body(l.e)
 	l.wmutex.Unlock()
-	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+	h.ring.Section(obs.Writer, csID, env.ModePessimistic, start, l.e.Now())
 }

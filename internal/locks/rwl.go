@@ -3,8 +3,8 @@ package locks
 import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // RWL is the pthread-style read-write lock baseline ("RWL" in the paper's
@@ -17,7 +17,7 @@ import (
 type RWL struct {
 	e    env.Env
 	word memmodel.Addr
-	col  *stats.Collector
+	pipe *obs.Pipeline
 }
 
 const (
@@ -30,20 +30,23 @@ const (
 
 var _ rwlock.Lock = (*RWL)(nil)
 
-// NewRWL carves the lock out of the arena. col may be nil.
-func NewRWL(e env.Env, ar *memmodel.Arena, col *stats.Collector) *RWL {
-	return &RWL{e: e, word: ar.AllocLines(1), col: col}
+// NewRWL carves the lock out of the arena. pipe may be nil.
+func NewRWL(e env.Env, ar *memmodel.Arena, pipe *obs.Pipeline) *RWL {
+	return &RWL{e: e, word: ar.AllocLines(1), pipe: pipe}
 }
 
 // Name implements rwlock.Lock.
 func (*RWL) Name() string { return "RWL" }
 
 // NewHandle implements rwlock.Lock.
-func (l *RWL) NewHandle(slot int) rwlock.Handle { return &rwlHandle{l: l, slot: slot} }
+func (l *RWL) NewHandle(slot int) rwlock.Handle {
+	return &rwlHandle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+}
 
 type rwlHandle struct {
 	l    *RWL
 	slot int
+	ring *obs.Ring
 }
 
 func (h *rwlHandle) Read(csID int, body rwlock.Body) {
@@ -60,9 +63,10 @@ func (h *rwlHandle) Read(csID int, body rwlock.Body) {
 		}
 		w.pause()
 	}
+	w.report(h.ring, obs.Reader, csID)
 	body(l.e)
 	l.e.Add(l.word, ^uint64(0)) // readers--
-	recordPessimistic(l.col, h.slot, stats.Reader, l.e.Now()-start)
+	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, l.e.Now())
 }
 
 func (h *rwlHandle) Write(csID int, body rwlock.Body) {
@@ -80,7 +84,8 @@ func (h *rwlHandle) Write(csID int, body rwlock.Body) {
 		}
 		w.pause()
 	}
+	w.report(h.ring, obs.Writer, csID)
 	body(l.e)
 	l.e.Add(l.word, ^(rwlActiveWriter)+1) // clear the active flag
-	recordPessimistic(l.col, h.slot, stats.Writer, l.e.Now()-start)
+	h.ring.Section(obs.Writer, csID, env.ModePessimistic, start, l.e.Now())
 }

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sprwl/internal/env"
+)
+
+// captureSink records every drained batch, tagged by slot.
+type captureSink struct {
+	batches []struct {
+		slot   int
+		events []Event
+	}
+}
+
+func (c *captureSink) Drain(slot int, events []Event) {
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	c.batches = append(c.batches, struct {
+		slot   int
+		events []Event
+	}{slot, cp})
+}
+
+func (c *captureSink) all() []Event {
+	var out []Event
+	for _, b := range c.batches {
+		out = append(out, b.events...)
+	}
+	return out
+}
+
+func TestNilRingAndPipelineAreSafe(t *testing.T) {
+	var p *Pipeline
+	r := p.Thread(3) // nil pipeline hands out nil rings
+	if r != nil {
+		t.Fatalf("nil pipeline returned non-nil ring")
+	}
+	// None of these may panic.
+	r.Record(Event{Kind: EvSection})
+	r.Section(Reader, 0, env.ModeHTM, 1, 2)
+	r.Abort(Writer, 0, env.AbortConflict, 3)
+	r.Wait(WaitRSync, Reader, 0, 1, 5)
+	r.SGL(0, 1, 2)
+	r.Tx(0, env.Committed, 1, 2)
+	p.Flush()
+}
+
+func TestRecordFlushesOnFullRing(t *testing.T) {
+	sink := &captureSink{}
+	p := NewPipeline(2, sink)
+	r := p.Thread(1)
+	total := ringEvents + 5
+	for i := 0; i < total; i++ {
+		r.Section(Reader, i, env.ModeHTM, uint64(i), uint64(i+1))
+	}
+	// The full ring drained once already; the tail needs an explicit flush.
+	if len(sink.batches) != 1 {
+		t.Fatalf("batches before flush = %d, want 1", len(sink.batches))
+	}
+	if got := len(sink.batches[0].events); got != ringEvents {
+		t.Fatalf("first batch size = %d, want %d", got, ringEvents)
+	}
+	if sink.batches[0].slot != 1 {
+		t.Fatalf("batch slot = %d, want 1", sink.batches[0].slot)
+	}
+	p.Flush()
+	events := sink.all()
+	if len(events) != total {
+		t.Fatalf("total drained = %d, want %d", len(events), total)
+	}
+	for i, ev := range events {
+		if ev.CS != int32(i) || ev.TS != uint64(i) || ev.Dur != 1 {
+			t.Fatalf("event %d out of order or corrupted: %+v", i, ev)
+		}
+	}
+	// A second flush with nothing buffered must not re-deliver.
+	p.Flush()
+	if got := len(sink.all()); got != total {
+		t.Fatalf("double flush re-delivered: %d events, want %d", got, total)
+	}
+}
+
+func TestEventFieldEncoding(t *testing.T) {
+	sink := &captureSink{}
+	p := NewPipeline(1, sink)
+	r := p.Thread(0)
+
+	r.Section(Writer, 7, env.ModeGL, 100, 150)
+	r.Abort(Writer, 7, env.AbortReader, 200)
+	r.Abort(Writer, 7, env.Committed, 201) // dropped: not an abort
+	r.Wait(WaitWSync, Writer, 7, 300, 350)
+	r.Wait(WaitWSync, Writer, 7, 400, 400) // dropped: zero duration
+	r.SGL(7, 500, 560)
+	r.Tx(-1, env.AbortCapacity, 600, 620)
+	p.Flush()
+
+	events := sink.all()
+	want := []Event{
+		{TS: 100, Dur: 50, CS: 7, Kind: EvSection, RW: Writer, Code: uint8(env.ModeGL)},
+		{TS: 200, CS: 7, Kind: EvAbort, RW: Writer, Code: uint8(env.AbortReader)},
+		{TS: 300, Dur: 50, CS: 7, Kind: EvWait, RW: Writer, Code: WaitWSync},
+		{TS: 500, Dur: 60, CS: 7, Kind: EvSGL, RW: Writer, Code: 0},
+		{TS: 600, Dur: 20, CS: -1, Kind: EvTx, Code: uint8(env.AbortCapacity)},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("drained %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestPipelineFansOutToAllSinks(t *testing.T) {
+	a, b := &captureSink{}, &captureSink{}
+	p := NewPipeline(1, a, b)
+	p.Thread(0).Section(Reader, 0, env.ModeHTM, 1, 2)
+	p.Flush()
+	if len(a.all()) != 1 || len(b.all()) != 1 {
+		t.Fatalf("sinks saw %d/%d events, want 1/1", len(a.all()), len(b.all()))
+	}
+}
+
+// traceFile mirrors the catapult JSON structure for decoding.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string                 `json:"name"`
+		Ph   string                 `json:"ph"`
+		Cat  string                 `json:"cat"`
+		TS   float64                `json:"ts"`
+		Dur  float64                `json:"dur"`
+		PID  int                    `json:"pid"`
+		TID  int                    `json:"tid"`
+		Args map[string]interface{} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestTraceSinkWritesValidCatapultJSON(t *testing.T) {
+	tr := NewTraceSink(2)
+	p := NewPipeline(2, tr)
+	r0, r1 := p.Thread(0), p.Thread(1)
+	r0.Section(Reader, 1, env.ModeUninstrumented, 1000, 3000)
+	r0.Abort(Writer, 2, env.AbortConflict, 1500)
+	r0.Wait(WaitRSync, Reader, 1, 500, 900)
+	r1.Section(Writer, 2, env.ModeHTM, 2000, 2500)
+	r1.SGL(2, 4000, 4200)
+	r1.Tx(-1, env.Committed, 2000, 2400)
+	p.Flush()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	count := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		count[ev.Ph+":"+ev.Name]++
+	}
+	for _, want := range []string{
+		"X:read", "X:write", "X:wait:rsync", "X:sgl-held", "X:tx",
+		"i:abort:conflict", "M:thread_name", "M:thread_name",
+	} {
+		if count[want] == 0 {
+			t.Errorf("trace missing event %q; have %v", want, count)
+		}
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "read" {
+			if ev.TS != 1.0 || ev.Dur != 2.0 { // 1000 cyc = 1 µs
+				t.Errorf("read span ts/dur = %v/%v µs, want 1/2", ev.TS, ev.Dur)
+			}
+			if ev.TID != 0 {
+				t.Errorf("read span tid = %d, want 0", ev.TID)
+			}
+		}
+	}
+}
+
+func TestProfileSinkAttributesWaitVsWork(t *testing.T) {
+	pr := NewProfileSink(1)
+	p := NewPipeline(1, pr)
+	r := p.Thread(0)
+	// One writer section of 1000 cycles total, 300 of which were spent in
+	// wsync and drain waits; the remaining 700 are work.
+	r.Wait(WaitWSync, Writer, 3, 0, 200)
+	r.Wait(WaitDrain, Writer, 3, 200, 300)
+	r.Abort(Writer, 3, env.AbortReader, 400)
+	r.Section(Writer, 3, env.ModeGL, 0, 1000)
+	p.Flush()
+
+	profs := pr.Profiles()
+	if len(profs) != 1 {
+		t.Fatalf("profiles = %d, want 1", len(profs))
+	}
+	c := profs[0]
+	if c.CS != 3 || c.RW != Writer {
+		t.Fatalf("profile key = cs%d/rw%d, want cs3/writer", c.CS, c.RW)
+	}
+	if c.Sections != 1 || c.Aborts != 1 {
+		t.Fatalf("sections/aborts = %d/%d, want 1/1", c.Sections, c.Aborts)
+	}
+	if c.WaitCycles[WaitWSync] != 200 || c.WaitCycles[WaitDrain] != 100 {
+		t.Fatalf("wait cycles = %v, want wsync=200 drain=100", c.WaitCycles)
+	}
+	if c.TotalWait() != 300 || c.WorkCycles != 700 {
+		t.Fatalf("wait/work = %d/%d, want 300/700", c.TotalWait(), c.WorkCycles)
+	}
+	if pr.String() == "" {
+		t.Fatal("String() rendered nothing")
+	}
+}
+
+func TestProfileSinkSampling(t *testing.T) {
+	pr := NewProfileSink(1)
+	pr.SampleEvery = 4
+	p := NewPipeline(1, pr)
+	r := p.Thread(0)
+	for i := 0; i < 8; i++ {
+		r.Wait(WaitRSync, Reader, 0, 0, 50)
+		r.Section(Reader, 0, env.ModeUninstrumented, 0, 200)
+	}
+	p.Flush()
+	profs := pr.Profiles()
+	if len(profs) != 1 {
+		t.Fatalf("profiles = %d, want 1", len(profs))
+	}
+	c := profs[0]
+	// 8 sections, every 4th attributed ×4: totals stay unbiased.
+	if c.Sections != 8 {
+		t.Fatalf("sections = %d, want 8 (scaled)", c.Sections)
+	}
+	if c.WaitCycles[WaitRSync] != 8*50 || c.WorkCycles != 8*150 {
+		t.Fatalf("wait/work = %d/%d, want %d/%d",
+			c.WaitCycles[WaitRSync], c.WorkCycles, 8*50, 8*150)
+	}
+}
+
+func TestWaitReasonStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for r := uint8(0); r < NumWaitReasons; r++ {
+		s := WaitReasonString(r)
+		if s == "" || seen[s] {
+			t.Fatalf("reason %d has empty or duplicate name %q", r, s)
+		}
+		seen[s] = true
+	}
+	if got := WaitReasonString(NumWaitReasons); got != "unknown" {
+		t.Fatalf("out-of-range reason = %q, want unknown", got)
+	}
+}

@@ -27,8 +27,8 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/locks"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 const (
@@ -49,14 +49,14 @@ type RWLE struct {
 	gl         locks.SpinMutex
 	htmRetries int
 	rotRetries int
-	col        *stats.Collector
+	pipe       *obs.Pipeline
 }
 
 var _ rwlock.Lock = (*RWLE)(nil)
 
 // New carves an RW-LE lock out of the arena. Non-positive budgets select
-// the defaults; col may be nil.
-func New(e env.Env, ar *memmodel.Arena, threads, htmRetries, rotRetries int, col *stats.Collector) *RWLE {
+// the defaults; pipe may be nil to disable instrumentation.
+func New(e env.Env, ar *memmodel.Arena, threads, htmRetries, rotRetries int, pipe *obs.Pipeline) *RWLE {
 	if htmRetries <= 0 {
 		htmRetries = DefaultHTMRetries
 	}
@@ -71,7 +71,7 @@ func New(e env.Env, ar *memmodel.Arena, threads, htmRetries, rotRetries int, col
 		gl:         locks.NewSpinMutex(e, ar.AllocLines(1)),
 		htmRetries: htmRetries,
 		rotRetries: rotRetries,
-		col:        col,
+		pipe:       pipe,
 	}
 }
 
@@ -79,7 +79,9 @@ func New(e env.Env, ar *memmodel.Arena, threads, htmRetries, rotRetries int, col
 func (*RWLE) Name() string { return "RW-LE" }
 
 // NewHandle implements rwlock.Lock.
-func (l *RWLE) NewHandle(slot int) rwlock.Handle { return &handle{l: l, slot: slot} }
+func (l *RWLE) NewHandle(slot int) rwlock.Handle {
+	return &handle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+}
 
 func (l *RWLE) epochAddr(i int) memmodel.Addr {
 	return l.epochs + memmodel.Addr(i*memmodel.LineWords)
@@ -88,6 +90,7 @@ func (l *RWLE) epochAddr(i int) memmodel.Addr {
 type handle struct {
 	l    *RWLE
 	slot int
+	ring *obs.Ring
 }
 
 // Read runs the critical section uninstrumented between epoch bumps,
@@ -103,17 +106,15 @@ func (h *handle) Read(csID int, body rwlock.Body) {
 			break
 		}
 		l.e.Add(ea, 1) // even: retract
+		t0 := l.e.Now()
 		for l.gl.IsLocked() {
 			l.e.Yield()
 		}
+		h.ring.Wait(obs.WaitGL, obs.Reader, csID, t0, l.e.Now())
 	}
 	body(l.e)
 	l.e.Add(ea, 1) // even: done
-	if l.col != nil {
-		t := l.col.Thread(h.slot)
-		t.Commit(stats.Reader, env.ModeUninstrumented)
-		t.Latency(stats.Reader, l.e.Now()-start)
-	}
+	h.ring.Section(obs.Reader, csID, env.ModeUninstrumented, start, l.e.Now())
 }
 
 // Write tries HTM, then serialized ROTs, then the global lock. Both
@@ -141,22 +142,30 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 				tx.Abort(env.AbortExplicit)
 			}
 			body(tx)
-			if !tx.Suspend(func() { h.quiesceReaders(tx) }) {
+			if !tx.Suspend(func() { h.quiesceReaders(csID, tx) }) {
 				tx.Abort(env.AbortConflict)
 			}
 		})
 	}
 
 	for attempts := 0; attempts < l.htmRetries; attempts++ {
+		waited := false
+		var t0 uint64
 		for l.gl.IsLocked() || l.wlock.IsLocked() {
+			if !waited {
+				waited, t0 = true, l.e.Now()
+			}
 			l.e.Yield()
+		}
+		if waited {
+			h.ring.Wait(obs.WaitLock, obs.Writer, csID, t0, l.e.Now())
 		}
 		cause := attempt(false)
 		if cause == env.Committed {
-			h.finish(stats.Writer, env.ModeHTM, start)
+			h.ring.Section(obs.Writer, csID, env.ModeHTM, start, l.e.Now())
 			return
 		}
-		h.abort(cause)
+		h.ring.Abort(obs.Writer, csID, cause, l.e.Now())
 		if cause == env.AbortCapacity {
 			break
 		}
@@ -165,16 +174,24 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 	// ROT path: serialized among writers, unlimited read footprint.
 	l.wlock.Lock()
 	for attempts := 0; attempts < l.rotRetries; attempts++ {
+		waited := false
+		var t0 uint64
 		for l.gl.IsLocked() {
+			if !waited {
+				waited, t0 = true, l.e.Now()
+			}
 			l.e.Yield()
+		}
+		if waited {
+			h.ring.Wait(obs.WaitGL, obs.Writer, csID, t0, l.e.Now())
 		}
 		cause := attempt(true)
 		if cause == env.Committed {
 			l.wlock.Unlock()
-			h.finish(stats.Writer, env.ModeROT, start)
+			h.ring.Section(obs.Writer, csID, env.ModeROT, start, l.e.Now())
 			return
 		}
-		h.abort(cause)
+		h.ring.Abort(obs.Writer, csID, cause, l.e.Now())
 		if cause == env.AbortCapacity {
 			break
 		}
@@ -183,19 +200,23 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 	// Global-lock fallback: wait out every active reader, then run
 	// pessimistically. We still hold wlock, keeping ROT writers out.
 	l.gl.Lock()
-	h.drainReaders()
+	acquired := l.e.Now()
+	h.drainReaders(csID)
 	body(l.e)
 	l.gl.Unlock()
 	l.wlock.Unlock()
-	h.finish(stats.Writer, env.ModeGL, start)
+	now := l.e.Now()
+	h.ring.SGL(csID, acquired, now)
+	h.ring.Section(obs.Writer, csID, env.ModeGL, start, now)
 }
 
 // quiesceReaders runs inside the suspended section: snapshot every thread's
 // epoch and wait for all odd (active) ones to advance. Bails out as soon as
 // the suspended transaction is doomed — a reader touched our write set, so
 // waiting longer is pointless.
-func (h *handle) quiesceReaders(tx env.TxAccessor) {
+func (h *handle) quiesceReaders(csID int, tx env.TxAccessor) {
 	l := h.l
+	t0 := l.e.Now()
 	for i := 0; i < l.threads; i++ {
 		if i == h.slot {
 			continue
@@ -207,18 +228,21 @@ func (h *handle) quiesceReaders(tx env.TxAccessor) {
 		}
 		for l.e.Load(ea) == snap {
 			if tx.Aborted() {
+				h.ring.Wait(obs.WaitQuiesce, obs.Writer, csID, t0, l.e.Now())
 				return
 			}
 			l.e.Yield()
 		}
 	}
+	h.ring.Wait(obs.WaitQuiesce, obs.Writer, csID, t0, l.e.Now())
 }
 
 // drainReaders is the fallback-path wait: with the global lock held, new
 // readers retract and wait, so waiting for each current epoch to advance
 // (or be even) terminates.
-func (h *handle) drainReaders() {
+func (h *handle) drainReaders(csID int) {
 	l := h.l
+	t0 := l.e.Now()
 	for i := 0; i < l.threads; i++ {
 		if i == h.slot {
 			continue
@@ -232,19 +256,5 @@ func (h *handle) drainReaders() {
 			l.e.Yield()
 		}
 	}
-}
-
-func (h *handle) abort(c env.AbortCause) {
-	if h.l.col != nil {
-		h.l.col.Thread(h.slot).Abort(stats.Writer, c)
-	}
-}
-
-func (h *handle) finish(k stats.Kind, m env.CommitMode, start uint64) {
-	if h.l.col == nil {
-		return
-	}
-	t := h.l.col.Thread(h.slot)
-	t.Commit(k, m)
-	t.Latency(k, h.l.e.Now()-start)
+	h.ring.Wait(obs.WaitDrain, obs.Writer, csID, t0, l.e.Now())
 }

@@ -36,7 +36,8 @@ type Config struct {
 	// Threads is the worker count used by the concurrent checks
 	// (default 4, minimum 2).
 	Threads int
-	// Rounds scales the iteration counts (default 150).
+	// Rounds scales the iteration counts (default 150, or 40 under
+	// -short so the full matrix stays fast under -race).
 	Rounds int
 	// HTMConfig overrides the space configuration (Threads/Words are
 	// always set by the suite).
@@ -49,6 +50,9 @@ func (c *Config) defaults() {
 	}
 	if c.Rounds <= 0 {
 		c.Rounds = 150
+		if testing.Short() {
+			c.Rounds = 40
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 )
 
 // Config sizes a simulation.
@@ -82,12 +83,18 @@ type Engine struct {
 	costs   Costs
 	coh     *coherence
 	env     *Env
+	pipe    *obs.Pipeline
 	thr     []*thread
 	parked  threadHeap
 	cur     *thread
 	live    int
 	allDone chan struct{}
 }
+
+// AttachObs routes per-attempt hardware transaction events (obs.EvTx) into
+// pipe's per-thread rings, one event per Attempt with its outcome and
+// virtual-time span. Detached (the default), Attempt emits nothing.
+func (e *Engine) AttachObs(pipe *obs.Pipeline) { e.pipe = pipe }
 
 // NewEngine builds a simulation. Capacities are set per slot from the
 // profile's SMT-aware effective capacity for the configured thread count.

@@ -91,6 +91,7 @@ func (v *Env) Attempt(slot int, opts env.TxOpts, body func(tx env.TxAccessor)) e
 		return e.space.Attempt(slot, opts, body)
 	}
 	e.charge(e.costs.TxBegin)
+	start := e.cur.vt
 	cause := e.space.Attempt(slot, opts, func(tx env.TxAccessor) {
 		body(&simTx{tx: tx, env: v})
 	})
@@ -98,6 +99,9 @@ func (v *Env) Attempt(slot int, opts env.TxOpts, body func(tx env.TxAccessor)) e
 		e.charge(e.costs.TxCommit)
 	} else {
 		e.charge(e.costs.TxAbort)
+	}
+	if e.pipe != nil {
+		e.pipe.Thread(e.cur.id).Tx(-1, cause, start, e.cur.vt)
 	}
 	return cause
 }

@@ -88,6 +88,59 @@ func TestPercentileClampsP(t *testing.T) {
 	}
 }
 
+// TestPercentileBoundaryP: p=0 degenerates to the minimum sample's bucket
+// (rank clamps to 1) and p=1 to the maximum's.
+func TestPercentileBoundaryP(t *testing.T) {
+	var th Thread
+	th.Latency(Reader, 10)     // bucket [8,16)
+	th.Latency(Reader, 100)    // bucket [64,128)
+	th.Latency(Reader, 100000) // bucket [65536,131072)
+	s := Merge(&th)
+	if got := s.Percentile(Reader, 0); got != 15 {
+		t.Fatalf("Percentile(0) = %d, want 15 (upper bound of the min sample's bucket)", got)
+	}
+	if got := s.Percentile(Reader, 1); got != 131071 {
+		t.Fatalf("Percentile(1) = %d, want 131071 (upper bound of the max sample's bucket)", got)
+	}
+}
+
+// TestPercentileAllZeroLatencies: zero-cycle sections land in bucket 0 whose
+// upper bound is 0 — every percentile reports 0 even though samples exist,
+// and the count still distinguishes this from an empty snapshot.
+func TestPercentileAllZeroLatencies(t *testing.T) {
+	var th Thread
+	for i := 0; i < 10; i++ {
+		th.Latency(Writer, 0)
+	}
+	s := Merge(&th)
+	if s.LatencyCount[Writer] != 10 {
+		t.Fatalf("latency count = %d, want 10", s.LatencyCount[Writer])
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Percentile(Writer, p); got != 0 {
+			t.Fatalf("Percentile(%v) = %d, want 0 for all-zero samples", p, got)
+		}
+	}
+}
+
+// TestPercentileAcrossMergedThreads: merging moves each thread's histogram
+// into the snapshot intact, so percentiles over the union see samples from
+// every thread.
+func TestPercentileAcrossMergedThreads(t *testing.T) {
+	var a, b Thread
+	for i := 0; i < 99; i++ {
+		a.Latency(Reader, 10) // bucket [8,16)
+	}
+	b.Latency(Reader, 1<<20) // one outlier from another thread
+	s := Merge(&a, &b)
+	if got := s.Percentile(Reader, 0.5); got != 15 {
+		t.Fatalf("p50 = %d, want 15", got)
+	}
+	if got := s.Percentile(Reader, 1); got != 1<<21-1 {
+		t.Fatalf("p100 = %d, want %d (outlier's bucket)", got, 1<<21-1)
+	}
+}
+
 func TestHistogramMerges(t *testing.T) {
 	var a, b Thread
 	a.Latency(Writer, 8)

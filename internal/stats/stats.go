@@ -3,10 +3,13 @@
 // abort-cause breakdowns (conflict/capacity/explicit/reader/spurious), and
 // reader/writer latencies.
 //
-// Each worker thread owns a Thread sink and updates it without
-// synchronization; a Snapshot merges sinks after the workers have stopped
-// (or tolerates slight skew if taken mid-run, which is how the paper's
-// periodic reporting behaves too).
+// Since the observability refactor the Collector is one obs.Sink among
+// others: lock implementations emit events through per-thread obs rings,
+// and the collector folds drained EvSection/EvAbort batches into the same
+// counters and latency histograms it always kept, so Snapshot consumers
+// are unaffected by the pipeline underneath. Each worker thread still owns
+// a Thread accumulator updated without synchronization; a Snapshot merges
+// them after the workers have stopped.
 package stats
 
 import (
@@ -14,6 +17,7 @@ import (
 	"strings"
 
 	"sprwl/internal/env"
+	"sprwl/internal/obs"
 )
 
 // Kind distinguishes reader and writer critical sections in latency and
@@ -60,11 +64,15 @@ func (t *Thread) Latency(k Kind, cycles uint64) {
 	t.latHist[k][bucketOf(cycles)]++
 }
 
-// Collector owns one Thread sink per worker slot, giving lock
-// implementations and the harness a shared place to record into.
+// Collector owns one Thread accumulator per worker slot and implements
+// obs.Sink: lock implementations emit events through an obs.Pipeline, and
+// the collector folds the drained batches into counters and histograms.
 type Collector struct {
 	threads []Thread
+	pipe    *obs.Pipeline
 }
+
+var _ obs.Sink = (*Collector)(nil)
 
 // NewCollector builds a collector for n thread slots.
 func NewCollector(n int) *Collector {
@@ -74,11 +82,50 @@ func NewCollector(n int) *Collector {
 	return &Collector{threads: make([]Thread, n)}
 }
 
-// Thread returns slot's sink. Only the owning thread may update it.
+// Thread returns slot's accumulator. Only the owning thread may update it.
 func (c *Collector) Thread(slot int) *Thread { return &c.threads[slot] }
 
-// Snapshot merges all sinks.
+// Pipeline returns the collector's event pipeline, building it on first
+// call with the collector as the final sink, preceded by any extra sinks
+// (trace exporters, profilers) given then. Snapshot flushes this pipeline,
+// so callers that construct locks over it get exact counts without extra
+// plumbing. Extra sinks passed after the first call are ignored.
+func (c *Collector) Pipeline(extra ...obs.Sink) *obs.Pipeline {
+	if c.pipe == nil {
+		sinks := make([]obs.Sink, 0, len(extra)+1)
+		sinks = append(sinks, extra...)
+		sinks = append(sinks, c)
+		c.pipe = obs.NewPipeline(len(c.threads), sinks...)
+	}
+	return c.pipe
+}
+
+// Drain implements obs.Sink: sections become commit + latency records,
+// aborts become abort-cause records; other event kinds are trace-only and
+// ignored here. obs.Reader/obs.Writer match Kind's values by contract.
+func (c *Collector) Drain(slot int, events []obs.Event) {
+	if slot < 0 || slot >= len(c.threads) {
+		return
+	}
+	t := &c.threads[slot]
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.EvSection:
+			k := Kind(ev.RW)
+			t.Commit(k, env.CommitMode(ev.Code))
+			t.Latency(k, ev.Dur)
+		case obs.EvAbort:
+			t.Abort(Kind(ev.RW), env.AbortCause(ev.Code))
+		}
+	}
+}
+
+// Snapshot merges all accumulators, first flushing the bound pipeline (if
+// any) so buffered events are counted. With a pipeline attached, Snapshot
+// must only run while no worker is recording — after the workers join.
 func (c *Collector) Snapshot() Snapshot {
+	c.pipe.Flush()
 	ptrs := make([]*Thread, len(c.threads))
 	for i := range c.threads {
 		ptrs[i] = &c.threads[i]

@@ -14,8 +14,8 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/locks"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
-	"sprwl/internal/stats"
 )
 
 // DefaultRetries is the paper's hardware attempt budget.
@@ -26,14 +26,14 @@ type TLE struct {
 	e       env.Env
 	gl      locks.SpinMutex
 	retries int
-	col     *stats.Collector
+	pipe    *obs.Pipeline
 }
 
 var _ rwlock.Lock = (*TLE)(nil)
 
 // New carves a TLE lock out of the arena. retries <= 0 selects
-// DefaultRetries; col may be nil.
-func New(e env.Env, ar *memmodel.Arena, retries int, col *stats.Collector) *TLE {
+// DefaultRetries; pipe may be nil to disable instrumentation.
+func New(e env.Env, ar *memmodel.Arena, retries int, pipe *obs.Pipeline) *TLE {
 	if retries <= 0 {
 		retries = DefaultRetries
 	}
@@ -41,7 +41,7 @@ func New(e env.Env, ar *memmodel.Arena, retries int, col *stats.Collector) *TLE 
 		e:       e,
 		gl:      locks.NewSpinMutex(e, ar.AllocLines(1)),
 		retries: retries,
-		col:     col,
+		pipe:    pipe,
 	}
 }
 
@@ -49,27 +49,38 @@ func New(e env.Env, ar *memmodel.Arena, retries int, col *stats.Collector) *TLE 
 func (*TLE) Name() string { return "TLE" }
 
 // NewHandle implements rwlock.Lock.
-func (l *TLE) NewHandle(slot int) rwlock.Handle { return &handle{l: l, slot: slot} }
+func (l *TLE) NewHandle(slot int) rwlock.Handle {
+	return &handle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+}
 
 type handle struct {
 	l    *TLE
 	slot int
+	ring *obs.Ring
 }
 
-func (h *handle) Read(csID int, body rwlock.Body) { h.run(stats.Reader, body) }
+func (h *handle) Read(csID int, body rwlock.Body) { h.run(obs.Reader, csID, body) }
 
-func (h *handle) Write(csID int, body rwlock.Body) { h.run(stats.Writer, body) }
+func (h *handle) Write(csID int, body rwlock.Body) { h.run(obs.Writer, csID, body) }
 
 // run elides the critical section: attempt in hardware with the lock
 // subscribed; after the budget (or a capacity abort) execute under the
 // global lock.
-func (h *handle) run(k stats.Kind, body rwlock.Body) {
+func (h *handle) run(rw uint8, csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
 	glAddr := l.gl.Addr()
 	for attempts := 0; attempts < l.retries; {
+		waited := false
+		var t0 uint64
 		for l.gl.IsLocked() {
+			if !waited {
+				waited, t0 = true, l.e.Now()
+			}
 			l.e.Yield()
+		}
+		if waited {
+			h.ring.Wait(obs.WaitGL, rw, csID, t0, l.e.Now())
 		}
 		cause := l.e.Attempt(h.slot, env.TxOpts{}, func(tx env.TxAccessor) {
 			if tx.Load(glAddr) != 0 {
@@ -78,28 +89,20 @@ func (h *handle) run(k stats.Kind, body rwlock.Body) {
 			body(tx)
 		})
 		if cause == env.Committed {
-			h.record(k, env.ModeHTM, start)
+			h.ring.Section(rw, csID, env.ModeHTM, start, l.e.Now())
 			return
 		}
-		if l.col != nil {
-			l.col.Thread(h.slot).Abort(k, cause)
-		}
+		h.ring.Abort(rw, csID, cause, l.e.Now())
 		if cause == env.AbortCapacity {
 			break
 		}
 		attempts++
 	}
 	l.gl.Lock()
+	acquired := l.e.Now()
 	body(l.e)
 	l.gl.Unlock()
-	h.record(k, env.ModeGL, start)
-}
-
-func (h *handle) record(k stats.Kind, m env.CommitMode, start uint64) {
-	if h.l.col == nil {
-		return
-	}
-	t := h.l.col.Thread(h.slot)
-	t.Commit(k, m)
-	t.Latency(k, h.l.e.Now()-start)
+	now := l.e.Now()
+	h.ring.SGL(csID, acquired, now)
+	h.ring.Section(rw, csID, env.ModeGL, start, now)
 }

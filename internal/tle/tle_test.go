@@ -25,7 +25,7 @@ func setup(t *testing.T, threads int, cfg htm.Config) (*TLE, env.Env, *memmodel.
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(threads)
-	return New(e, ar, 0, col), e, ar, col
+	return New(e, ar, 0, col.Pipeline()), e, ar, col
 }
 
 func TestElidesInHTM(t *testing.T) {
@@ -74,7 +74,7 @@ func TestBudgetExhaustionFallsBack(t *testing.T) {
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(1)
-	l := New(e, ar, 3, col)
+	l := New(e, ar, 3, col.Pipeline())
 	data := ar.AllocLines(1)
 	l.NewHandle(0).Write(0, func(acc memmodel.Accessor) { acc.Store(data, 1) })
 	if got := e.Load(data); got != 1 {

@@ -46,7 +46,7 @@ func TestHashmapWorkerPreservesPopulation(t *testing.T) {
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(2)
-	lock := tle.New(e, ar, 0, col)
+	lock := tle.New(e, ar, 0, col.Pipeline())
 	hm := SetupHashmap(space, ar, cfg, 2)
 
 	step := hm.Worker(lock.NewHandle(0), 0, 7)
@@ -84,7 +84,7 @@ func TestTPCCWorkerMixRatios(t *testing.T) {
 	e := htm.NewRuntime(space, nil)
 	ar := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(2)
-	lock := tle.New(e, ar, 0, col)
+	lock := tle.New(e, ar, 0, col.Pipeline())
 	db := SetupTPCC(space, ar, scale, PaperMix(), 3)
 
 	var now uint64

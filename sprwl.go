@@ -132,7 +132,7 @@ func New(cfg Config) (*Lock, error) {
 	rt := htm.NewRuntime(space, nil)
 	arena := memmodel.NewArena(0, space.Size())
 	col := stats.NewCollector(cfg.Threads)
-	l, err := core.New(rt, arena, cfg.Threads, cfg.NumCS, cfg.Options, col)
+	l, err := core.New(rt, arena, cfg.Threads, cfg.NumCS, cfg.Options, col.Pipeline())
 	if err != nil {
 		return nil, fmt.Errorf("sprwl: %w", err)
 	}
