@@ -5,8 +5,12 @@
 //
 //	sprwl-bench -exp fig3 -profile broadwell          # one figure
 //	sprwl-bench -exp all -profile power8 -quick       # smoke sweep
+//	sprwl-bench -exp all -quick -parallel 8           # 8 points at a time
 //	sprwl-bench -exp fig3 -csv fig3.csv               # machine-readable
 //	sprwl-bench -exp all -quick -json bench.json      # JSON results
+//	sprwl-bench -compare BENCH_baseline.json bench.json -threshold 5%
+//	    # threshold-based regression diff of two -json files; exits 1 if
+//	    # any matched point's throughput regressed beyond the threshold
 //	sprwl-bench -mode real -algo SpRWL -threads 4     # library-plane point
 //	sprwl-bench -trace out.json -algo SpRWL -threads 8
 //	    # one hashmap point with the Chrome-trace sink attached; open
@@ -14,14 +18,16 @@
 //	sprwl-bench -trace out.json -waitprof             # plus wait/work table
 //
 // Simulated runs are deterministic: the same seed, flags and build produce
-// identical output.
+// identical output regardless of -parallel.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"sprwl/internal/harness"
@@ -44,9 +50,13 @@ func run() error {
 		quick    = flag.Bool("quick", false, "thin sweeps and shorten horizons (smoke run)")
 		horizon  = flag.Uint64("horizon", 0, "virtual cycles per data point (0 = default)")
 		seed     = flag.Uint64("seed", 1, "workload RNG seed")
+		parallel = flag.Int("parallel", 0, "data points measured concurrently (0 = GOMAXPROCS); output is identical for any value")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 		verbose  = flag.Bool("v", false, "print each data point as it completes")
+
+		comparePath = flag.String("compare", "", "regression-diff this baseline -json file against the one named by the first positional argument, then exit")
+		threshold   = flag.String("threshold", "5%", "with -compare: relative throughput loss that counts as a regression")
 
 		mode    = flag.String("mode", "sim", "sim (discrete-event figures) or real (library plane)")
 		algo    = flag.String("algo", harness.AlgoSpRWL, "real/trace mode: algorithm ("+strings.Join(harness.AllAlgorithms(), "|")+")")
@@ -57,6 +67,24 @@ func run() error {
 		waitprof  = flag.Bool("waitprof", false, "with -trace: also print the wait-vs-work profile table")
 	)
 	flag.Parse()
+
+	if *comparePath != "" {
+		// Usage: sprwl-bench -compare old.json new.json [-threshold 5%].
+		// Flag parsing stops at the first positional argument, so accept
+		// -threshold after the new-file operand too.
+		if flag.NArg() < 1 {
+			return errors.New("-compare needs the new -json file as a positional argument")
+		}
+		sub := flag.NewFlagSet("compare", flag.ContinueOnError)
+		trailingThreshold := sub.String("threshold", *threshold, "relative throughput loss that counts as a regression")
+		if err := sub.Parse(flag.Args()[1:]); err != nil {
+			return err
+		}
+		if sub.NArg() != 0 {
+			return fmt.Errorf("-compare takes exactly two files, got extra arguments %q", sub.Args())
+		}
+		return runCompare(*comparePath, flag.Arg(0), *trailingThreshold)
+	}
 
 	p, err := profileByName(*profile)
 	if err != nil {
@@ -77,7 +105,7 @@ func run() error {
 		return nil
 	}
 
-	opts := harness.RunOpts{Profile: p, Horizon: *horizon, Quick: *quick, Seed: *seed}
+	opts := harness.RunOpts{Profile: p, Horizon: *horizon, Quick: *quick, Seed: *seed, Parallel: *parallel}
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -174,6 +202,57 @@ func runTrace(path string, waitprof bool, mode, algo string, threads int, p htm.
 		fmt.Print(prof.String())
 	}
 	return nil
+}
+
+// runCompare regression-diffs two -json report files and exits non-zero on
+// any throughput regression beyond the threshold.
+func runCompare(oldPath, newPath, thresholdSpec string) error {
+	th, err := parseThreshold(thresholdSpec)
+	if err != nil {
+		return err
+	}
+	readReports := func(path string) ([]*harness.Report, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		reports, err := harness.ReadJSON(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return reports, nil
+	}
+	oldReports, err := readReports(oldPath)
+	if err != nil {
+		return err
+	}
+	newReports, err := readReports(newPath)
+	if err != nil {
+		return err
+	}
+	cmp := harness.CompareReports(oldReports, newReports, th)
+	cmp.Format(os.Stdout)
+	if !cmp.OK() {
+		return fmt.Errorf("%d point(s) regressed beyond %.1f%% (%s -> %s)", len(cmp.Regressions), 100*th, oldPath, newPath)
+	}
+	return nil
+}
+
+// parseThreshold accepts "5%", "5", or "0.05"-style fractions below 1.
+func parseThreshold(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -threshold %q: %w", s, err)
+	}
+	if pct || v >= 1 {
+		v /= 100
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("bad -threshold %q: want a percentage in [0,100)", s)
+	}
+	return v, nil
 }
 
 func profileByName(name string) (htm.Profile, error) {

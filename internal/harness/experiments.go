@@ -21,7 +21,12 @@ type RunOpts struct {
 	// Seed feeds workload RNGs; fixed seed + fixed config = identical
 	// results.
 	Seed uint64
-	// Progress, if non-nil, receives a line per completed point.
+	// Parallel bounds how many data points run concurrently (every point
+	// is an isolated engine + space, so points are independent and the
+	// report is byte-identical for any worker count). 0 = GOMAXPROCS.
+	Parallel int
+	// Progress, if non-nil, receives a line per completed point. With
+	// Parallel > 1 the lines arrive in completion order.
 	Progress func(string)
 }
 
@@ -109,8 +114,9 @@ func runHashmapFigure(id, title string, lookups int, opts RunOpts) (*Report, err
 	}
 	wl := hashmapFor(p)
 	wl.LookupsPerRead = lookups
-	for _, mix := range []int{10, 50, 90} {
-		sec := Section{Title: fmt.Sprintf("%d%% update", mix)}
+	var jobs []pointJob
+	for si, mix := range []int{10, 50, 90} {
+		rep.Sections = append(rep.Sections, Section{Title: fmt.Sprintf("%d%% update", mix)})
 		for _, algo := range figAlgos(p) {
 			for _, n := range threadSweep(p, opts.Quick) {
 				cfg := HashmapPointConfig{
@@ -118,16 +124,19 @@ func runHashmapFigure(id, title string, lookups int, opts RunOpts) (*Report, err
 					Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
 				}
 				cfg.Workload.UpdatePercent = mix
-				pt, err := RunHashmapPoint(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s@%d: %w", id, algo, n, err)
-				}
-				opts.progress("%s %s: %s", id, sec.Title, pt)
-				sec.Points = append(sec.Points, pt)
+				jobs = append(jobs, pointJob{
+					section: si,
+					label:   fmt.Sprintf("%s %d%% update %s@%d", id, mix, algo, n),
+					run:     func() (Point, error) { return RunHashmapPoint(cfg) },
+				})
 			}
 		}
-		rep.Sections = append(rep.Sections, sec)
 	}
+	pts, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	assemble(rep, jobs, pts)
 	return rep, nil
 }
 
@@ -151,21 +160,25 @@ func Fig5(opts RunOpts) (*Report, error) {
 	wl.LookupsPerRead = 10
 	wl.UpdatePercent = 10
 	rep := &Report{ID: "fig5", Title: "Scheduling ablation (broadwell, 10% update, long readers)"}
-	sec := Section{Title: "10% update"}
+	rep.Sections = append(rep.Sections, Section{Title: "10% update"})
+	var jobs []pointJob
 	for _, algo := range []string{AlgoTLE, AlgoSpRWLNoSched, AlgoSpRWLRWait, AlgoSpRWLRSync, AlgoSpRWL} {
 		for _, n := range threadSweep(p, opts.Quick) {
-			pt, err := RunHashmapPoint(HashmapPointConfig{
+			cfg := HashmapPointConfig{
 				Algo: algo, Threads: n, Profile: p,
 				Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s@%d: %w", algo, n, err)
 			}
-			opts.progress("fig5: %s", pt)
-			sec.Points = append(sec.Points, pt)
+			jobs = append(jobs, pointJob{
+				label: fmt.Sprintf("fig5 %s@%d", algo, n),
+				run:   func() (Point, error) { return RunHashmapPoint(cfg) },
+			})
 		}
 	}
-	rep.Sections = append(rep.Sections, sec)
+	pts, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	assemble(rep, jobs, pts)
 	return rep, nil
 }
 
@@ -187,23 +200,28 @@ func Fig6(opts RunOpts) (*Report, error) {
 	if opts.Quick {
 		lookupSweep = []int{1, 16, 128}
 	}
-	for _, lookups := range lookupSweep {
+	var jobs []pointJob
+	for si, lookups := range lookupSweep {
 		wl := hashmapFor(p)
 		wl.LookupsPerRead = lookups
 		wl.UpdatePercent = 50
-		sec := Section{Title: fmt.Sprintf("reader size = %d lookups", lookups)}
+		rep.Sections = append(rep.Sections, Section{Title: fmt.Sprintf("reader size = %d lookups", lookups)})
 		for _, algo := range []string{AlgoSpRWL, AlgoSpRWLSNZI} {
-			pt, err := RunHashmapPoint(HashmapPointConfig{
+			cfg := HashmapPointConfig{
 				Algo: algo, Threads: threads, Profile: p,
 				Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s lookups=%d: %w", algo, lookups, err)
 			}
-			opts.progress("fig6: %s", pt)
-			sec.Points = append(sec.Points, pt)
+			jobs = append(jobs, pointJob{
+				section: si,
+				label:   fmt.Sprintf("fig6 %s lookups=%d", algo, lookups),
+				run:     func() (Point, error) { return RunHashmapPoint(cfg) },
+			})
 		}
-		rep.Sections = append(rep.Sections, sec)
 	}
+	pts, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	assemble(rep, jobs, pts)
 	return rep, nil
 }

@@ -71,24 +71,29 @@ func ExtScan(opts RunOpts) (*Report, error) {
 		Title: fmt.Sprintf("Ordered-map range scans over point updates (%s)", p.Name),
 		Notes: []string{"extension experiment: the introduction's motivating workload on a skiplist"},
 	}
-	for _, mix := range []int{10, 50} {
-		sec := Section{Title: fmt.Sprintf("%d%% update", mix)}
+	var jobs []pointJob
+	for si, mix := range []int{10, 50} {
+		rep.Sections = append(rep.Sections, Section{Title: fmt.Sprintf("%d%% update", mix)})
 		for _, algo := range figAlgos(p) {
 			for _, n := range threadSweep(p, opts.Quick) {
-				pt, err := RunRangeScanPoint(RangeScanPointConfig{
+				cfg := RangeScanPointConfig{
 					Algo: algo, Threads: n, Profile: p,
 					Workload: workload.RangeScanConfig{UpdatePercent: mix},
 					Horizon:  opts.horizon(), Seed: opts.Seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("extscan %s@%d: %w", algo, n, err)
 				}
-				opts.progress("extscan %s: %s", sec.Title, pt)
-				sec.Points = append(sec.Points, pt)
+				jobs = append(jobs, pointJob{
+					section: si,
+					label:   fmt.Sprintf("extscan %d%% update %s@%d", mix, algo, n),
+					run:     func() (Point, error) { return RunRangeScanPoint(cfg) },
+				})
 			}
 		}
-		rep.Sections = append(rep.Sections, sec)
 	}
+	pts, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	assemble(rep, jobs, pts)
 	return rep, nil
 }
 
@@ -106,24 +111,29 @@ func ExtAuto(opts RunOpts) (*Report, error) {
 		Notes: []string{"extension experiment: the paper's §5 future-work self-tuning reader tracking"},
 	}
 	lookups := []int{1, 16, 128}
-	for _, lk := range lookups {
+	var jobs []pointJob
+	for si, lk := range lookups {
 		wl := hashmapFor(p)
 		wl.LookupsPerRead = lk
 		wl.UpdatePercent = 50
-		sec := Section{Title: fmt.Sprintf("reader size = %d lookups", lk)}
+		rep.Sections = append(rep.Sections, Section{Title: fmt.Sprintf("reader size = %d lookups", lk)})
 		for _, algo := range []string{AlgoSpRWL, AlgoSpRWLSNZI, AlgoSpRWLAuto} {
-			pt, err := RunHashmapPoint(HashmapPointConfig{
+			cfg := HashmapPointConfig{
 				Algo: algo, Threads: threads, Profile: p,
 				Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("extauto %s lookups=%d: %w", algo, lk, err)
 			}
-			opts.progress("extauto: %s", pt)
-			sec.Points = append(sec.Points, pt)
+			jobs = append(jobs, pointJob{
+				section: si,
+				label:   fmt.Sprintf("extauto %s lookups=%d", algo, lk),
+				run:     func() (Point, error) { return RunHashmapPoint(cfg) },
+			})
 		}
-		rep.Sections = append(rep.Sections, sec)
 	}
+	pts, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	assemble(rep, jobs, pts)
 	return rep, nil
 }
 
@@ -143,20 +153,24 @@ func ExtVSGL(opts RunOpts) (*Report, error) {
 		Title: fmt.Sprintf("Versioned fallback lock (§3.3), 90%% update, long readers (%s)", p.Name),
 		Notes: []string{"extension experiment: anti-starvation scheme described but not evaluated by the paper"},
 	}
-	sec := Section{Title: "90% update"}
+	rep.Sections = append(rep.Sections, Section{Title: "90% update"})
+	var jobs []pointJob
 	for _, algo := range []string{AlgoSpRWL, AlgoSpRWLVSGL} {
 		for _, n := range threadSweep(p, opts.Quick) {
-			pt, err := RunHashmapPoint(HashmapPointConfig{
+			cfg := HashmapPointConfig{
 				Algo: algo, Threads: n, Profile: p,
 				Workload: wl, Horizon: opts.horizon(), Seed: opts.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("extvsgl %s@%d: %w", algo, n, err)
 			}
-			opts.progress("extvsgl: %s", pt)
-			sec.Points = append(sec.Points, pt)
+			jobs = append(jobs, pointJob{
+				label: fmt.Sprintf("extvsgl %s@%d", algo, n),
+				run:   func() (Point, error) { return RunHashmapPoint(cfg) },
+			})
 		}
 	}
-	rep.Sections = append(rep.Sections, sec)
+	pts, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	assemble(rep, jobs, pts)
 	return rep, nil
 }

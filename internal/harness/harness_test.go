@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -186,5 +187,30 @@ func TestQuickFigureRunsEndToEnd(t *testing.T) {
 	}
 	if len(rep.Sections) == 0 || len(rep.Sections[0].Points) == 0 {
 		t.Fatal("fig5 produced no points")
+	}
+}
+
+// TestParallelSweepIsOrderStable is the determinism contract of the
+// parallel driver: the same figure run serially and with a worker pool must
+// produce byte-identical reports.
+func TestParallelSweepIsOrderStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure plumbing test is slow under -short")
+	}
+	run := func(parallel int) []byte {
+		rep, err := Fig5(RunOpts{Quick: true, Horizon: 80_000, Seed: 1, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, []*Report{rep}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	pooled := run(4)
+	if !bytes.Equal(serial, pooled) {
+		t.Fatalf("parallel sweep diverged from serial run:\nserial: %d bytes\npooled: %d bytes", len(serial), len(pooled))
 	}
 }

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Figure sweeps are embarrassingly parallel: every data point builds its own
+// engine, address space, and collector, shares nothing mutable, and is
+// internally deterministic. runJobs executes a sweep's points over a bounded
+// worker pool and assembles results in job order, so a report is
+// byte-identical regardless of the worker count — only progress-line
+// interleaving (stderr logging) varies.
+
+// pointJob is one data point of a figure sweep: which section of the report
+// it belongs to, a label for progress and error messages, and the
+// self-contained measurement.
+type pointJob struct {
+	section int
+	label   string
+	run     func() (Point, error)
+}
+
+// workers resolves the effective pool size: RunOpts.Parallel, or GOMAXPROCS
+// when unset.
+func (o *RunOpts) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJobs executes jobs over at most opts.workers() concurrent workers and
+// returns the points in job order. On failure it reports the error of the
+// lowest-indexed failing job (deterministic regardless of scheduling).
+func runJobs(opts RunOpts, jobs []pointJob) ([]Point, error) {
+	pts := make([]Point, len(jobs))
+	workers := opts.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			pt, err := jobs[i].run()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", jobs[i].label, err)
+			}
+			opts.progress("%s: %s", jobs[i].label, pt)
+			pts[i] = pt
+		}
+		return pts, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errs     = make([]error, len(jobs))
+		progress sync.Mutex
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				pt, err := jobs[i].run()
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				pts[i] = pt
+				if opts.Progress != nil {
+					progress.Lock()
+					opts.progress("%s: %s", jobs[i].label, pt)
+					progress.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", jobs[i].label, err)
+		}
+	}
+	return pts, nil
+}
+
+// assemble distributes points into the report's sections, preserving job
+// order within each section.
+func assemble(rep *Report, jobs []pointJob, pts []Point) {
+	for i, j := range jobs {
+		rep.Sections[j.section].Points = append(rep.Sections[j.section].Points, pts[i])
+	}
+}

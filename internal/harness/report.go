@@ -66,6 +66,15 @@ func WriteJSON(w io.Writer, reports []*Report) error {
 	return enc.Encode(reports)
 }
 
+// ReadJSON parses a report document previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]*Report, error) {
+	var reports []*Report
+	if err := json.NewDecoder(r).Decode(&reports); err != nil {
+		return nil, fmt.Errorf("harness: parsing report JSON: %w", err)
+	}
+	return reports, nil
+}
+
 // Best returns the point with the highest throughput for algo across all
 // sections matching sectionFilter (empty = all), used by the experiment
 // shape checks.

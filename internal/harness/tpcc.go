@@ -79,22 +79,26 @@ func Fig7(opts RunOpts) (*Report, error) {
 		rep.Notes = append(rep.Notes, "thread sweep capped at 64 (simulator slot limit); paper goes to 80")
 	}
 	algos := append(figAlgos(p), AlgoSpRWLSNZI)
-	sec := Section{Title: "paper mix"}
+	rep.Sections = append(rep.Sections, Section{Title: "paper mix"})
+	var jobs []pointJob
 	for _, algo := range algos {
 		for _, n := range sweep {
-			pt, err := RunTPCCPoint(TPCCPointConfig{
+			cfg := TPCCPointConfig{
 				Algo: algo, Threads: n, Profile: p,
 				Scale: scale, Mix: workload.PaperMix(),
 				Horizon: opts.horizon(), Seed: opts.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s@%d: %w", algo, n, err)
 			}
-			opts.progress("fig7: %s", pt)
-			sec.Points = append(sec.Points, pt)
+			jobs = append(jobs, pointJob{
+				label: fmt.Sprintf("fig7 %s@%d", algo, n),
+				run:   func() (Point, error) { return RunTPCCPoint(cfg) },
+			})
 		}
 	}
-	rep.Sections = append(rep.Sections, sec)
+	pts, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	assemble(rep, jobs, pts)
 	return rep, nil
 }
 

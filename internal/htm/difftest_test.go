@@ -1,0 +1,484 @@
+package htm
+
+import (
+	"math/rand"
+	"testing"
+
+	"sprwl/internal/env"
+	"sprwl/internal/memmodel"
+)
+
+// Differential test: randomized transactional schedules run through both the
+// flat-set Tx implementation and refSpace, a retained map-based reference
+// model of the emulation semantics (the shape of the pre-flat-set
+// implementation). The driver steps ops one at a time — exactly one
+// goroutine executes htm code at any instant — so every conflict resolves
+// deterministically (requester wins; a doomed owner never unwinds mid-op),
+// and both implementations must agree on every load value, every abort
+// cause, and the final memory image.
+
+// refSpace is the map-based reference implementation.
+type refSpace struct {
+	mem     []uint64
+	owner   map[memmodel.Line]int // slot+1, 0/absent = unowned
+	readers map[memmodel.Line]map[int]bool
+	txs     []refTx
+	rCap    int
+	wCap    int
+}
+
+type refTx struct {
+	active   bool
+	doomed   bool
+	cause    env.AbortCause
+	rot      bool
+	writes   map[memmodel.Addr]uint64
+	order    []memmodel.Addr // write order, for deterministic write-back
+	readSet  map[memmodel.Line]bool
+	writeSet map[memmodel.Line]bool
+}
+
+func newRefSpace(slots, words, rCap, wCap int) *refSpace {
+	r := &refSpace{
+		mem:     make([]uint64, words),
+		owner:   make(map[memmodel.Line]int),
+		readers: make(map[memmodel.Line]map[int]bool),
+		txs:     make([]refTx, slots),
+		rCap:    rCap,
+		wCap:    wCap,
+	}
+	for i := range r.txs {
+		r.txs[i] = refTx{
+			writes:   make(map[memmodel.Addr]uint64),
+			readSet:  make(map[memmodel.Line]bool),
+			writeSet: make(map[memmodel.Line]bool),
+		}
+	}
+	return r
+}
+
+// doom marks slot's transaction doomed (first cause wins), mirroring
+// Tx.doom under serialized stepping where the Committing window can never be
+// observed mid-op.
+func (r *refSpace) doom(slot int, cause env.AbortCause) {
+	t := &r.txs[slot]
+	if t.active && !t.doomed {
+		t.doomed = true
+		t.cause = cause
+	}
+}
+
+// unwind releases slot's line metadata and retires the attempt, returning
+// its outcome.
+func (r *refSpace) unwind(slot int) env.AbortCause {
+	t := &r.txs[slot]
+	for l := range t.writeSet {
+		delete(r.owner, l)
+	}
+	for l := range t.readSet {
+		delete(r.readers[l], slot)
+	}
+	t.active = false
+	if t.doomed {
+		return t.cause
+	}
+	return env.Committed
+}
+
+func (r *refSpace) begin(slot int, rot bool) {
+	t := &r.txs[slot]
+	t.active, t.doomed, t.cause, t.rot = true, false, env.Committed, rot
+	clear(t.writes)
+	t.order = t.order[:0]
+	clear(t.readSet)
+	clear(t.writeSet)
+}
+
+// load models Tx.Load. ok=false means the attempt unwound; cause is then the
+// outcome.
+func (r *refSpace) load(slot int, a memmodel.Addr) (v uint64, cause env.AbortCause, ok bool) {
+	t := &r.txs[slot]
+	if t.doomed {
+		return 0, r.unwind(slot), false
+	}
+	if v, hit := t.writes[a]; hit {
+		return v, 0, true
+	}
+	l := memmodel.LineOf(a)
+	if t.writeSet[l] {
+		return r.mem[a], 0, true
+	}
+	if t.rot {
+		if w := r.owner[l]; w != 0 && w-1 != slot {
+			r.doom(w-1, env.AbortConflict)
+		}
+		return r.mem[a], 0, true
+	}
+	if !t.readSet[l] {
+		if r.rCap > 0 && len(t.readSet) >= r.rCap {
+			r.doom(slot, env.AbortCapacity)
+			return 0, r.unwind(slot), false
+		}
+		if r.readers[l] == nil {
+			r.readers[l] = make(map[int]bool)
+		}
+		r.readers[l][slot] = true
+		t.readSet[l] = true
+		if w := r.owner[l]; w != 0 && w-1 != slot {
+			r.doom(w-1, env.AbortConflict)
+		}
+	}
+	return r.mem[a], 0, true
+}
+
+// store models Tx.Store. ok=false means the attempt unwound.
+func (r *refSpace) store(slot int, a memmodel.Addr, v uint64) (cause env.AbortCause, ok bool) {
+	t := &r.txs[slot]
+	if t.doomed {
+		return r.unwind(slot), false
+	}
+	l := memmodel.LineOf(a)
+	if !t.writeSet[l] {
+		if r.wCap > 0 && len(t.writeSet) >= r.wCap {
+			r.doom(slot, env.AbortCapacity)
+			return r.unwind(slot), false
+		}
+		if w := r.owner[l]; w != 0 && w-1 != slot {
+			// A doomed-but-unreleased owner cannot release its line
+			// while we hold the token: the bounded poll in
+			// acquireLine expires and the requester aborts.
+			r.doom(w-1, env.AbortConflict)
+			r.doom(slot, env.AbortConflict)
+			return r.unwind(slot), false
+		}
+		if r.owner[l] == 0 {
+			r.owner[l] = slot + 1
+			for rd := range r.readers[l] {
+				if rd != slot {
+					r.doom(rd, env.AbortConflict)
+				}
+			}
+		}
+		t.writeSet[l] = true
+	}
+	if _, seen := t.writes[a]; !seen {
+		t.order = append(t.order, a)
+	}
+	t.writes[a] = v
+	return 0, true
+}
+
+// abort models Tx.Abort: an earlier doom cause, if any, wins.
+func (r *refSpace) abort(slot int) env.AbortCause {
+	r.doom(slot, env.AbortExplicit)
+	return r.unwind(slot)
+}
+
+// commit models Tx.commit.
+func (r *refSpace) commit(slot int) env.AbortCause {
+	t := &r.txs[slot]
+	if !t.doomed {
+		for _, a := range t.order {
+			r.mem[a] = t.writes[a]
+		}
+	}
+	return r.unwind(slot)
+}
+
+// Uninstrumented strong-isolation operations.
+
+func (r *refSpace) uload(a memmodel.Addr) uint64 {
+	if w := r.owner[memmodel.LineOf(a)]; w != 0 {
+		r.doom(w-1, env.AbortConflict)
+	}
+	return r.mem[a]
+}
+
+func (r *refSpace) doomLineUsers(l memmodel.Line) {
+	if w := r.owner[l]; w != 0 {
+		r.doom(w-1, env.AbortConflict)
+	}
+	for rd := range r.readers[l] {
+		r.doom(rd, env.AbortConflict)
+	}
+}
+
+func (r *refSpace) ustore(a memmodel.Addr, v uint64) {
+	l := memmodel.LineOf(a)
+	if w := r.owner[l]; w != 0 {
+		r.doom(w-1, env.AbortConflict)
+	}
+	r.mem[a] = v
+	r.doomLineUsers(l)
+}
+
+func (r *refSpace) ucas(a memmodel.Addr, old, new uint64) bool {
+	l := memmodel.LineOf(a)
+	if w := r.owner[l]; w != 0 {
+		r.doom(w-1, env.AbortConflict)
+	}
+	if r.mem[a] != old {
+		return false
+	}
+	r.mem[a] = new
+	r.doomLineUsers(l)
+	return true
+}
+
+// Schedule events.
+
+type diffOpKind int
+
+const (
+	opBegin diffOpKind = iota
+	opLoad
+	opStore
+	opAbort
+	opCommit
+	opULoad
+	opUStore
+	opUCAS
+)
+
+type diffOp struct {
+	kind diffOpKind
+	slot int
+	rot  bool
+	addr memmodel.Addr
+	val  uint64
+}
+
+// slotDriver feeds ops into one slot's Attempt bodies running on a dedicated
+// goroutine. The driver owns the token: it sends one op and waits for either
+// the op's reply or the attempt's outcome (when the op unwound the body).
+type slotDriver struct {
+	ops     chan diffOp
+	replies chan uint64
+	outcome chan env.AbortCause
+}
+
+func startSlotDriver(s *Space, slot int) *slotDriver {
+	d := &slotDriver{
+		ops:     make(chan diffOp),
+		replies: make(chan uint64),
+		outcome: make(chan env.AbortCause),
+	}
+	go func() {
+		for op := range d.ops { // each received op here is opBegin
+			rot := op.rot
+			cause := s.Attempt(slot, env.TxOpts{ROT: rot}, func(tx env.TxAccessor) {
+				d.replies <- 0 // body entered
+				for {
+					op := <-d.ops
+					switch op.kind {
+					case opLoad:
+						d.replies <- tx.Load(op.addr)
+					case opStore:
+						tx.Store(op.addr, op.val)
+						d.replies <- 0
+					case opAbort:
+						tx.Abort(env.AbortExplicit)
+					case opCommit:
+						return
+					}
+				}
+			})
+			d.outcome <- cause
+		}
+	}()
+	return d
+}
+
+// runDiffSchedule executes one schedule against both implementations and
+// fails the test on any divergence.
+func runDiffSchedule(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	slots := 2 + rng.Intn(3)
+	const lines = 8
+	words := lines * memmodel.LineWords
+	var rCap, wCap int
+	if rng.Intn(2) == 0 {
+		rCap = 2 + rng.Intn(3)
+		wCap = 1 + rng.Intn(3)
+	}
+
+	space := MustNewSpace(Config{
+		Threads:            slots,
+		Words:              words,
+		ReadCapacityLines:  rCap,
+		WriteCapacityLines: wCap,
+	})
+	ref := newRefSpace(slots, words, rCap, wCap)
+
+	drivers := make([]*slotDriver, slots)
+	for i := range drivers {
+		drivers[i] = startSlotDriver(space, i)
+	}
+	defer func() {
+		for _, d := range drivers {
+			close(d.ops)
+		}
+	}()
+
+	// inBody[i]: the real body goroutine is parked inside an attempt.
+	// dead[i]: the attempt unwound early; skip its remaining ops up to and
+	// including its commit/abort event.
+	inBody := make([]bool, slots)
+	dead := make([]bool, slots)
+
+	randAddr := func() memmodel.Addr { return memmodel.Addr(rng.Intn(words)) }
+
+	// step sends one in-attempt op and reconciles both implementations.
+	step := func(op diffOp) {
+		d := drivers[op.slot]
+		if dead[op.slot] {
+			if op.kind == opCommit || op.kind == opAbort {
+				dead[op.slot] = false
+			}
+			return
+		}
+		switch op.kind {
+		case opBegin:
+			d.ops <- op
+			<-d.replies
+			ref.begin(op.slot, op.rot)
+			inBody[op.slot] = true
+		case opLoad:
+			d.ops <- op
+			select {
+			case v := <-d.replies:
+				rv, _, ok := ref.load(op.slot, op.addr)
+				if !ok {
+					t.Fatalf("seed %d: slot %d load(%d): real survived, reference unwound", seed, op.slot, op.addr)
+				}
+				if v != rv {
+					t.Fatalf("seed %d: slot %d load(%d): real %d, reference %d", seed, op.slot, op.addr, v, rv)
+				}
+			case c := <-d.outcome:
+				_, rc, ok := ref.load(op.slot, op.addr)
+				if ok {
+					t.Fatalf("seed %d: slot %d load(%d): real unwound (%v), reference survived", seed, op.slot, op.addr, c)
+				}
+				if c != rc {
+					t.Fatalf("seed %d: slot %d load(%d): abort cause real %v, reference %v", seed, op.slot, op.addr, c, rc)
+				}
+				inBody[op.slot] = false
+				dead[op.slot] = true
+			}
+		case opStore:
+			d.ops <- op
+			select {
+			case <-d.replies:
+				if _, ok := ref.store(op.slot, op.addr, op.val); !ok {
+					t.Fatalf("seed %d: slot %d store(%d): real survived, reference unwound", seed, op.slot, op.addr)
+				}
+			case c := <-d.outcome:
+				rc, ok := ref.store(op.slot, op.addr, op.val)
+				if ok {
+					t.Fatalf("seed %d: slot %d store(%d): real unwound (%v), reference survived", seed, op.slot, op.addr, c)
+				}
+				if c != rc {
+					t.Fatalf("seed %d: slot %d store(%d): abort cause real %v, reference %v", seed, op.slot, op.addr, c, rc)
+				}
+				inBody[op.slot] = false
+				dead[op.slot] = true
+			}
+		case opAbort:
+			d.ops <- op
+			c := <-d.outcome
+			rc := ref.abort(op.slot)
+			if c != rc {
+				t.Fatalf("seed %d: slot %d abort: cause real %v, reference %v", seed, op.slot, c, rc)
+			}
+			inBody[op.slot] = false
+		case opCommit:
+			d.ops <- op
+			c := <-d.outcome
+			rc := ref.commit(op.slot)
+			if c != rc {
+				t.Fatalf("seed %d: slot %d commit: outcome real %v, reference %v", seed, op.slot, c, rc)
+			}
+			inBody[op.slot] = false
+		}
+	}
+
+	active := func(slot int) bool { return inBody[slot] || dead[slot] }
+
+	steps := 60 + rng.Intn(120)
+	for i := 0; i < steps; i++ {
+		if rng.Intn(10) < 7 {
+			slot := rng.Intn(slots)
+			if !active(slot) {
+				step(diffOp{kind: opBegin, slot: slot, rot: rng.Intn(4) == 0})
+				continue
+			}
+			switch r := rng.Intn(10); {
+			case r < 4:
+				step(diffOp{kind: opLoad, slot: slot, addr: randAddr()})
+			case r < 8:
+				step(diffOp{kind: opStore, slot: slot, addr: randAddr(), val: rng.Uint64() % 1000})
+			case r < 9:
+				step(diffOp{kind: opCommit, slot: slot})
+			default:
+				step(diffOp{kind: opAbort, slot: slot})
+			}
+		} else {
+			// Uninstrumented op from outside any transaction; every
+			// slot goroutine is parked, so the driver may call the
+			// Space directly.
+			a := randAddr()
+			switch rng.Intn(3) {
+			case 0:
+				v := space.Load(a)
+				if rv := ref.uload(a); v != rv {
+					t.Fatalf("seed %d: uninstrumented load(%d): real %d, reference %d", seed, a, v, rv)
+				}
+			case 1:
+				v := rng.Uint64() % 1000
+				space.Store(a, v)
+				ref.ustore(a, v)
+			default:
+				old := ref.mem[a] // bias towards successful CAS
+				if rng.Intn(3) == 0 {
+					old++
+				}
+				new := rng.Uint64() % 1000
+				got := space.CAS(a, old, new)
+				want := ref.ucas(a, old, new)
+				if got != want {
+					t.Fatalf("seed %d: uninstrumented CAS(%d): real %v, reference %v", seed, a, got, want)
+				}
+			}
+		}
+	}
+
+	// Retire every in-flight attempt and compare outcomes.
+	for slot := 0; slot < slots; slot++ {
+		if active(slot) {
+			step(diffOp{kind: opCommit, slot: slot})
+		}
+	}
+
+	// Final memory must be identical word-for-word.
+	for a := 0; a < words; a++ {
+		if got, want := space.Load(memmodel.Addr(a)), ref.mem[a]; got != want {
+			t.Fatalf("seed %d: final memory[%d]: real %d, reference %d", seed, a, got, want)
+		}
+	}
+}
+
+// TestDifferentialSchedules cross-checks the flat-set transaction tracking
+// against the map-based reference model over many randomized interleaved
+// schedules. Runs in the race-enabled short-mode CI job with a reduced
+// schedule count.
+func TestDifferentialSchedules(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 80
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		runDiffSchedule(t, seed)
+	}
+}

@@ -124,9 +124,9 @@ func NewSpace(cfg Config) (*Space, error) {
 		tx.space = s
 		tx.slot = i
 		tx.mask = uint64(1) << uint(i)
-		tx.writes = make(map[memmodel.Addr]uint64, 64)
-		tx.readSet = make(map[memmodel.Line]struct{}, 128)
-		tx.writeSet = make(map[memmodel.Line]struct{}, 64)
+		tx.log.init()
+		tx.readSet.init()
+		tx.writeSet.init()
 	}
 	for i := range s.caps {
 		s.caps[i] = capPair{read: cfg.ReadCapacityLines, write: cfg.WriteCapacityLines}
@@ -252,10 +252,14 @@ func (s *Space) doomLineUsers(l memmodel.Line) {
 	if w := lm.writer.Load(); w != 0 {
 		s.txs[w-1].doom(env.AbortConflict)
 	}
-	r := lm.readers.Load()
-	for r != 0 {
-		slot := bits.TrailingZeros64(r)
-		r &^= uint64(1) << uint(slot)
-		s.txs[slot].doom(env.AbortConflict)
+	s.doomSlots(lm.readers.Load(), env.AbortConflict)
+}
+
+// doomSlots dooms every transaction whose slot bit is set in mask.
+func (s *Space) doomSlots(mask uint64, cause env.AbortCause) {
+	for mask != 0 {
+		slot := bits.TrailingZeros64(mask)
+		mask &^= uint64(1) << uint(slot)
+		s.txs[slot].doom(cause)
 	}
 }

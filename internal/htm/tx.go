@@ -2,7 +2,6 @@ package htm
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime"
 	"sync/atomic"
 
@@ -43,9 +42,12 @@ type Tx struct {
 	rot       bool
 	suspended bool
 
-	writes   map[memmodel.Addr]uint64
-	readSet  map[memmodel.Line]struct{}
-	writeSet map[memmodel.Line]struct{}
+	// log buffers this attempt's stores in program order; readSet and
+	// writeSet track the lines touched. All three are flat epoch-stamped
+	// structures (see sets.go) reset in O(1) by begin.
+	log      writeLog
+	readSet  lineSet
+	writeSet lineSet
 }
 
 var _ env.TxAccessor = (*Tx)(nil)
@@ -91,9 +93,9 @@ func (t *Tx) begin(opts env.TxOpts) {
 	}
 	t.rot = opts.ROT
 	t.suspended = false
-	clear(t.writes)
-	clear(t.readSet)
-	clear(t.writeSet)
+	t.log.reset()
+	t.readSet.reset()
+	t.writeSet.reset()
 	t.state.Store(packState(stActive, env.Committed))
 }
 
@@ -128,27 +130,40 @@ func (t *Tx) Load(a memmodel.Addr) uint64 {
 		return t.suspendedLoad(a)
 	}
 	t.checkAlive()
-	if v, ok := t.writes[a]; ok {
-		return v
-	}
 	s := t.space
 	l := memmodel.LineOf(a)
-	if _, mine := t.writeSet[l]; !mine {
-		if t.rot {
-			// Untracked load: behave like an uninstrumented load
-			// (a remote read still aborts a conflicting writer in
-			// hardware), but without touching our read set.
-			return t.rotLoad(a, l)
+	if !t.log.empty() {
+		// Read-your-writes: the direct-mapped cache resolves the common
+		// case in one probe; a collision-evicted entry falls back to a
+		// newest-first log scan, gated on line ownership so unwritten
+		// addresses never pay for it.
+		if v, ok := t.log.cached(a); ok {
+			return v
 		}
-		if _, seen := t.readSet[l]; !seen {
-			if cap := s.caps[t.slot].read; cap > 0 && len(t.readSet) >= cap {
-				t.fail(env.AbortCapacity)
+		if t.writeSet.contains(l) {
+			if v, ok := t.log.latest(a); ok {
+				return v
 			}
-			lm := s.line(l)
-			lm.readers.Or(t.mask)
-			t.readSet[l] = struct{}{}
-			t.resolveWriter(lm)
+			// The line is ours but this word was never stored:
+			// memory still holds its pre-transactional value, and
+			// owning the line means no tracking is needed.
+			return atomic.LoadUint64(s.word(a))
 		}
+	}
+	if t.rot {
+		// Untracked load: behave like an uninstrumented load
+		// (a remote read still aborts a conflicting writer in
+		// hardware), but without touching our read set.
+		return t.rotLoad(a, l)
+	}
+	if !t.readSet.contains(l) {
+		if cap := s.caps[t.slot].read; cap > 0 && t.readSet.len() >= cap {
+			t.fail(env.AbortCapacity)
+		}
+		lm := s.line(l)
+		lm.readers.Or(t.mask)
+		t.readSet.add(l)
+		t.resolveWriter(lm)
 	}
 	return atomic.LoadUint64(s.word(a))
 }
@@ -205,14 +220,14 @@ func (t *Tx) Store(a memmodel.Addr, v uint64) {
 	t.checkAlive()
 	s := t.space
 	l := memmodel.LineOf(a)
-	if _, mine := t.writeSet[l]; !mine {
-		if cap := s.caps[t.slot].write; cap > 0 && len(t.writeSet) >= cap {
+	if !t.writeSet.contains(l) {
+		if cap := s.caps[t.slot].write; cap > 0 && t.writeSet.len() >= cap {
 			t.fail(env.AbortCapacity)
 		}
 		t.acquireLine(l)
-		t.writeSet[l] = struct{}{}
+		t.writeSet.add(l)
 	}
-	t.writes[a] = v
+	t.log.store(a, v)
 }
 
 // acquireLine takes exclusive transactional ownership of line l, dooming
@@ -228,12 +243,7 @@ func (t *Tx) acquireLine(l memmodel.Line) {
 				// Ownership published; now doom every reader
 				// (other than ourselves) that got its bit in
 				// before us.
-				r := lm.readers.Load() &^ t.mask
-				for r != 0 {
-					slot := trailingSlot(r)
-					r &^= uint64(1) << uint(slot)
-					s.txs[slot].doom(env.AbortConflict)
-				}
+				s.doomSlots(lm.readers.Load()&^t.mask, env.AbortConflict)
 				return
 			}
 		case int(w-1) == t.slot:
@@ -271,8 +281,6 @@ func (t *Tx) acquireLine(l memmodel.Line) {
 		}
 	}
 }
-
-func trailingSlot(mask uint64) int { return bits.TrailingZeros64(mask) }
 
 // suspendedLoad is an uninstrumented load issued from a suspended section.
 // Unlike Space.Load it must not doom the suspended transaction itself when
@@ -323,7 +331,8 @@ func (t *Tx) Suspend(fn func()) bool {
 // Moving to Committing first means every later conflict race is won by this
 // transaction; write-back happens while the lines are still owned, and
 // ownership is only released afterwards, so no thread can observe a torn
-// commit.
+// commit. Write-back replays the log in program order (last store to an
+// address wins), so externalization is deterministic.
 func (t *Tx) commit() env.AbortCause {
 	if !t.state.CompareAndSwap(packState(stActive, env.Committed), packState(stCommitting, env.Committed)) {
 		cause := t.doomCause()
@@ -331,20 +340,21 @@ func (t *Tx) commit() env.AbortCause {
 		return cause
 	}
 	s := t.space
-	for a, v := range t.writes {
-		atomic.StoreUint64(s.word(a), v)
+	for i, a := range t.log.addrs {
+		atomic.StoreUint64(s.word(a), t.log.vals[i])
 	}
 	t.cleanup()
 	return env.Committed
 }
 
-// cleanup releases all line metadata and retires the descriptor.
+// cleanup releases all line metadata and retires the descriptor. The member
+// lists hold each line exactly once, in insertion order.
 func (t *Tx) cleanup() {
 	s := t.space
-	for l := range t.writeSet {
+	for _, l := range t.writeSet.members {
 		s.line(l).writer.Store(0)
 	}
-	for l := range t.readSet {
+	for _, l := range t.readSet.members {
 		s.line(l).readers.And(^t.mask)
 	}
 	t.state.Store(packState(stInactive, env.Committed))
