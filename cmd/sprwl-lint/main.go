@@ -1,0 +1,89 @@
+// Command sprwl-lint runs the repository's custom static analyzers — the
+// mechanized form of the concurrency and hot-path invariants documented in
+// DESIGN.md §8 — over module packages:
+//
+//	go run ./cmd/sprwl-lint ./...
+//
+// Patterns follow the go tool's form ("./...", "./internal/core",
+// "./internal/..."); with no arguments the whole module is checked. The
+// exit status is 0 when no diagnostics survive suppression, 1 when any
+// invariant violation is reported, and 2 when loading or type-checking
+// fails. Intentional exceptions are suppressed at the site with
+// //sprwl:allow(<analyzer>) plus a justification; suppressed findings are
+// counted on stderr so they stay visible.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sprwl/internal/analysis/atomicmix"
+	"sprwl/internal/analysis/bodyidempotent"
+	"sprwl/internal/analysis/driver"
+	"sprwl/internal/analysis/hotpathalloc"
+	"sprwl/internal/analysis/releaseorder"
+)
+
+var analyzers = []*driver.Analyzer{
+	atomicmix.Analyzer,
+	bodyidempotent.Analyzer,
+	hotpathalloc.Analyzer,
+	releaseorder.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
+		os.Exit(2)
+	}
+	prog, err := driver.NewProgram(moduleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := prog.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
+		os.Exit(2)
+	}
+	res, err := driver.RunAnalyzers(prog, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	if n := len(res.Suppressed); n > 0 {
+		fmt.Fprintf(os.Stderr, "sprwl-lint: %d finding(s) suppressed by //sprwl:allow\n", n)
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "sprwl-lint: %d invariant violation(s)\n", len(res.Diagnostics))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod, so the tool works from any subdirectory of the module.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

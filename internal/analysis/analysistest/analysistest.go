@@ -1,0 +1,199 @@
+// Package analysistest runs one analyzer over golden fixture packages and
+// compares its diagnostics against inline expectations, mirroring the
+// golang.org/x/tools analysistest convention on top of this repository's
+// self-contained driver.
+//
+// Fixtures live under <testdata>/src/<pkg>; a line that should be reported
+// carries a trailing comment of the form
+//
+//	expr // want "regexp" "another regexp"
+//
+// with one quoted regular expression per expected diagnostic on that line.
+// Every reported diagnostic must match a want on its line and every want
+// must be matched by a diagnostic — unmatched either way fails the test.
+// Suppression via //sprwl:allow is applied before matching, so a fixture
+// line carrying both a violation and an allow directive passes exactly when
+// the shared suppression machinery works.
+//
+// Fixture packages may import real module packages (sprwl/internal/rwlock,
+// sprwl/internal/memmodel, ...): the loader resolves module paths from the
+// enclosing module and everything else from GOROOT source, fully offline.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sprwl/internal/analysis/driver"
+)
+
+// Run loads each fixture package from testdata/src, applies the analyzer,
+// and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *driver.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	prog, err := driver.NewProgram(moduleDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	prog.FixtureRoot = filepath.Join(abs, "src")
+
+	var pkgs []*driver.Package
+	for _, path := range pkgPaths {
+		pkg, err := prog.Load(path)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	res, err := driver.RunAnalyzers(prog, pkgs, []*driver.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, prog, pkgs)
+	for _, d := range res.Diagnostics {
+		pos := prog.Fset.Position(d.Pos)
+		if !wants.match(pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", shortPos(pos), d.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s: no diagnostic matched want %q", w.where, w.re.String())
+	}
+}
+
+type want struct {
+	where string
+	re    *regexp.Regexp
+	hit   bool
+}
+
+// wantSet indexes expectations by filename and line.
+type wantSet map[string]map[int][]*want
+
+func (ws wantSet) match(file string, line int, msg string) bool {
+	for _, w := range ws[file][line] {
+		if !w.hit && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws wantSet) unmatched() []*want {
+	var out []*want
+	for _, lines := range ws {
+		for _, l := range lines {
+			for _, w := range l {
+				if !w.hit {
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectWants parses every "// want" comment in the fixture packages.
+func collectWants(t *testing.T, prog *driver.Program, pkgs []*driver.Package) wantSet {
+	t.Helper()
+	ws := make(wantSet)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					res, err := parseWants(text)
+					if err != nil {
+						t.Fatalf("%s: bad want comment: %v", shortPos(pos), err)
+					}
+					lines := ws[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*want)
+						ws[pos.Filename] = lines
+					}
+					for _, re := range res {
+						lines[pos.Line] = append(lines[pos.Line], &want{
+							where: shortPos(pos),
+							re:    re,
+						})
+					}
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// parseWants extracts the sequence of quoted regular expressions after
+// "// want".
+func parseWants(text string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", rest)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no regexps in want comment")
+	}
+	return res, nil
+}
+
+func shortPos(pos interface{ String() string }) string {
+	s := pos.String()
+	if i := strings.LastIndex(s, "/testdata/"); i >= 0 {
+		return s[i+len("/testdata/"):]
+	}
+	return s
+}
+
+// findModuleRoot walks up from the working directory (the package under
+// test) to the enclosing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the test directory")
+		}
+		dir = parent
+	}
+}

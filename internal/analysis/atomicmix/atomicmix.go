@@ -1,0 +1,154 @@
+// Package atomicmix flags struct fields and package-level variables that
+// are accessed both through sync/atomic function calls and through plain
+// loads or stores within the same package.
+//
+// A word that is ever accessed atomically must be accessed atomically
+// everywhere: a single plain load can read a torn or stale value and a
+// plain store silently discards a concurrent atomic update — the classic
+// way a BRAVO-style reader-writer fast path "cheap read" becomes a racy
+// load. Fields of the typed atomic wrappers (atomic.Uint64 and friends) are
+// immune by construction and are not tracked; this analyzer exists for the
+// &x.f-passed-to-sync/atomic pattern, where the compiler offers no
+// protection at the remaining plain uses.
+//
+// Intentional exceptions (e.g. initialization before the value is
+// published) are suppressed with //sprwl:allow(atomicmix) plus a
+// justification.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sprwl/internal/analysis/driver"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &driver.Analyzer{
+	Name: "atomicmix",
+	Doc:  "report variables accessed both via sync/atomic and via plain loads/stores",
+	Run:  run,
+}
+
+func run(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: every `&v` argument of a sync/atomic call marks v (a struct
+	// field or a package-level variable) as atomically accessed; the
+	// operand node itself is exempt from pass 2.
+	atomicUse := make(map[*types.Var]token.Pos)
+	operand := make(map[ast.Node]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				v := trackedVar(info, un.X)
+				if v == nil {
+					continue
+				}
+				if _, seen := atomicUse[v]; !seen {
+					atomicUse[v] = un.X.Pos()
+				}
+				operand[un.X] = true
+				if sel, ok := un.X.(*ast.SelectorExpr); ok {
+					operand[sel.Sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUse) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other appearance of a tracked variable is a plain
+	// access (read, write, or aliasing &) and races with the atomic uses.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if operand[e] {
+					return true
+				}
+				if sel := info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+					report(pass, atomicUse, sel.Obj().(*types.Var), e.Pos())
+				}
+			case *ast.Ident:
+				if operand[e] {
+					return true
+				}
+				v, ok := info.Uses[e].(*types.Var)
+				if ok && !v.IsField() {
+					report(pass, atomicUse, v, e.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *driver.Pass, atomicUse map[*types.Var]token.Pos, v *types.Var, pos token.Pos) {
+	first, ok := atomicUse[v]
+	if !ok {
+		return
+	}
+	pass.Reportf(pos, "plain access to %q, which is accessed with sync/atomic elsewhere in this package (e.g. at %s); every access must be atomic",
+		v.Name(), pass.Fset.Position(first))
+}
+
+// trackedVar resolves the operand of a unary & to a variable this analyzer
+// tracks: a struct field (x.f) or a package-level variable.
+func trackedVar(info *types.Info, x ast.Expr) *types.Var {
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj().(*types.Var)
+		}
+		// Qualified identifier (pkg.V): falls through to the Sel ident.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && isPackageLevel(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && isPackageLevel(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// calleeFunc resolves a call's static callee, or nil for dynamic calls
+// (func values, interface methods) and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			if sel.Kind() == types.MethodVal && !types.IsInterface(sel.Recv()) {
+				return sel.Obj().(*types.Func)
+			}
+			return nil
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

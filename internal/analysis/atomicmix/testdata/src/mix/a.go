@@ -1,0 +1,28 @@
+// Package mix exercises the atomicmix analyzer: the fields and variables
+// below are accessed atomically in this file and plainly in b.go, so the
+// diagnostics land across the package's call graph and files.
+package mix
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64 // mixed: atomic here, plain in b.go
+	safe  uint64 // atomic-only: never reported
+	setup uint64 // mixed, but the plain access in b.go is suppressed
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.safe, 1)
+	atomic.StoreUint64(&c.setup, 0)
+}
+
+func (c *counter) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.safe)
+}
+
+var published uint64
+
+func publish() {
+	atomic.StoreUint64(&published, 1)
+}

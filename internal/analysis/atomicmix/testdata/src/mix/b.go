@@ -1,0 +1,18 @@
+package mix
+
+func (c *counter) plainRead() uint64 {
+	return c.n // want `plain access to "n"`
+}
+
+func (c *counter) plainWrite() {
+	c.n = 0 // want `plain access to "n"`
+}
+
+func (c *counter) initialize() {
+	//sprwl:allow(atomicmix) fixture: single-threaded construction before publication
+	c.setup = 42
+}
+
+func check() bool {
+	return published != 0 // want `plain access to "published"`
+}

@@ -1,0 +1,380 @@
+// Package bodyidempotent checks the rwlock.Body contract: a critical-section
+// closure may be executed multiple times (the HTM emulation re-runs it after
+// an abort), so everything it does must be idempotent. All shared-state
+// effects must flow through the Accessor parameter — those are buffered in
+// the transaction write set and undone on abort — while effects on captured
+// Go-side memory or on the outside world escape the transaction and are
+// replayed on every retry.
+//
+// Reported patterns:
+//
+//   - read-modify-write of a captured variable (x++, x += v, or a plain
+//     write to a variable that is also read inside the body): each retry
+//     compounds the update;
+//   - writes through captured pointers, captured struct fields, and into
+//     captured maps: visible before commit and replayed on retry (writing a
+//     result into a captured scalar or a captured slice element is the
+//     sanctioned extraction idiom — same slot, same value on every run —
+//     and is not reported);
+//   - calls to methods on captured receivers or to captured func values
+//     that do not take the accessor (rng.Uint64N, a captured now()): these
+//     advance hidden state or observe the outside world, so each retry sees
+//     a different value and the committed execution may disagree with the
+//     decisions made by aborted ones;
+//   - calls into fmt, os, log, io, time, math/rand, net and sync, plus
+//     print/println, go statements, channel sends and close: side effects
+//     the abort path cannot undo.
+//
+// Compute non-idempotent inputs before the critical section and pass them in
+// by value; a body that genuinely needs an exception carries
+// //sprwl:allow(bodyidempotent) with a justification.
+package bodyidempotent
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sprwl/internal/analysis/driver"
+)
+
+// Analyzer is the bodyidempotent check.
+var Analyzer = &driver.Analyzer{
+	Name: "bodyidempotent",
+	Doc:  "rwlock.Body closures must be idempotent: no captured-state mutation or non-Accessor side effects",
+	Run:  run,
+}
+
+// sideEffectPkgs are packages whose calls are outside-world effects or
+// non-deterministic inputs — either way, not idempotent under re-execution.
+var sideEffectPkgs = map[string]bool{
+	"fmt":          true,
+	"os":           true,
+	"log":          true,
+	"io":           true,
+	"time":         true,
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"net":          true,
+	"sync":         true,
+}
+
+func run(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	checked := make(map[*ast.FuncLit]bool)
+	check := func(lit *ast.FuncLit) {
+		if lit != nil && !checked[lit] {
+			checked[lit] = true
+			checkBody(pass, lit)
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				tv, ok := info.Types[n.Fun]
+				if ok && tv.IsType() {
+					// Conversion rwlock.Body(func(...){...}).
+					if isBodyType(tv.Type) && len(n.Args) == 1 {
+						check(funcLit(n.Args[0]))
+					}
+					return true
+				}
+				sig, ok := tv.Type.(*types.Signature)
+				if !ok {
+					if tv.Type != nil {
+						sig, _ = tv.Type.Underlying().(*types.Signature)
+					}
+				}
+				if sig == nil {
+					return true
+				}
+				for i, arg := range n.Args {
+					if lit := funcLit(arg); lit != nil && isBodyType(paramType(sig, i, n.Ellipsis != token.NoPos)) {
+						check(lit)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) {
+						if lit := funcLit(rhs); lit != nil && isBodyType(typeOf(info, n.Lhs[i])) {
+							check(lit)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if lit := funcLit(v); lit != nil {
+						if n.Type != nil && isBodyType(typeOf(info, n.Type)) {
+							check(lit)
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				// A factory returning a Body: resolve via the literal's own
+				// assigned type when the checker converted it.
+				for _, r := range n.Results {
+					if lit := funcLit(r); lit != nil && isBodyType(typeOf(info, r)) {
+						check(lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody inspects one rwlock.Body literal for non-idempotent effects.
+func checkBody(pass *driver.Pass, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+
+	var accObj types.Object
+	if p := lit.Type.Params; p != nil && len(p.List) > 0 && len(p.List[0].Names) > 0 {
+		accObj = info.Defs[p.List[0].Names[0]]
+	}
+
+	captured := func(v *types.Var) bool {
+		if v == nil || v.IsField() {
+			return false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: shared by definition
+		}
+		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+	}
+
+	// writeSites collects plain `=` writes to captured scalars; a write is
+	// only a violation if the same variable is also read in the body
+	// (extraction writes are write-only).
+	writeSites := make(map[*types.Var]token.Pos)
+	readVars := make(map[*types.Var]bool)
+	writeLHS := make(map[*ast.Ident]bool)
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, info, captured, lhs, compound, n.Tok, writeSites, writeLHS)
+			}
+		case *ast.IncDecStmt:
+			if v := rootCaptured(info, captured, n.X); v != nil {
+				pass.Reportf(n.Pos(), "body is not idempotent: %s of captured %q compounds on every re-execution; compute it outside the critical section", n.Tok, v.Name())
+			}
+		case *ast.CallExpr:
+			checkCall(pass, info, captured, accObj, n)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "body is not idempotent: go statement launches a goroutine on every re-execution")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "body is not idempotent: channel send escapes the transaction and is replayed on abort")
+		case *ast.Ident:
+			if writeLHS[n] {
+				return true
+			}
+			if v, ok := info.Uses[n].(*types.Var); ok && captured(v) {
+				readVars[v] = true
+			}
+		}
+		return true
+	})
+
+	for v, pos := range writeSites {
+		if readVars[v] {
+			pass.Reportf(pos, "body is not idempotent: captured %q is both read and written in the body, so re-execution compounds the update; use the Accessor for shared state or hoist the computation", v.Name())
+		}
+	}
+}
+
+// checkWrite classifies one assignment target inside a body.
+func checkWrite(pass *driver.Pass, info *types.Info, captured func(*types.Var) bool,
+	lhs ast.Expr, compound bool, tok token.Token,
+	writeSites map[*types.Var]token.Pos, writeLHS map[*ast.Ident]bool) {
+
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok || !captured(v) {
+			return
+		}
+		writeLHS[e] = true
+		if compound {
+			pass.Reportf(lhs.Pos(), "body is not idempotent: %s on captured %q compounds on every re-execution; use the Accessor for shared state or hoist the computation", tok, v.Name())
+			return
+		}
+		if _, ok := writeSites[v]; !ok {
+			writeSites[v] = lhs.Pos()
+		}
+	case *ast.SelectorExpr:
+		if v := rootCaptured(info, captured, e); v != nil {
+			pass.Reportf(lhs.Pos(), "body is not idempotent: write through captured %q escapes the transaction and is replayed on abort; route it through the Accessor or extract after the section", v.Name())
+		}
+	case *ast.StarExpr:
+		if v := rootCaptured(info, captured, e.X); v != nil {
+			pass.Reportf(lhs.Pos(), "body is not idempotent: write through captured pointer %q escapes the transaction and is replayed on abort", v.Name())
+		}
+	case *ast.IndexExpr:
+		// Captured-map inserts allocate buckets and are visible before
+		// commit; captured-slice element writes are the extraction idiom
+		// (same slot, same value every run) and pass.
+		if t := typeOf(info, e.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				if v := rootCaptured(info, captured, e.X); v != nil {
+					pass.Reportf(lhs.Pos(), "body is not idempotent: write into captured map %q escapes the transaction and is replayed on abort", v.Name())
+				}
+			}
+		}
+	}
+}
+
+// checkCall flags calls whose effects escape the transaction: denylisted
+// packages, builtins with side effects, and calls on captured state that do
+// not go through the accessor.
+func checkCall(pass *driver.Pass, info *types.Info, captured func(*types.Var) bool,
+	accObj types.Object, call *ast.CallExpr) {
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "print", "println":
+				pass.Reportf(call.Pos(), "body is not idempotent: %s output is replayed on every re-execution", b.Name())
+			case "close":
+				pass.Reportf(call.Pos(), "body is not idempotent: close escapes the transaction (and panics when replayed)")
+			}
+			return
+		}
+	}
+
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && sideEffectPkgs[fn.Pkg().Path()] {
+		pass.Reportf(call.Pos(), "body is not idempotent: call to %s.%s is a non-Accessor side effect or non-deterministic input; compute it before the critical section", fn.Pkg().Name(), fn.Name())
+		return
+	}
+
+	// A method call on a captured receiver, or a call through a captured
+	// func value. If the accessor is threaded through as an argument the
+	// callee participates in the transaction (the data-structure helper
+	// idiom); otherwise it may read or advance hidden state on every retry
+	// — whether the callee resolves statically or not, since even a
+	// module-local method can mutate its receiver.
+	if mentionsObj(info, call, accObj) {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			if v := rootCaptured(info, captured, fun.X); v != nil {
+				pass.Reportf(call.Pos(), "body is not idempotent: method call on captured %q without the accessor may observe or advance hidden state on every re-execution", v.Name())
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[fun].(*types.Var); ok && captured(v) {
+			pass.Reportf(call.Pos(), "body is not idempotent: call to captured func value %q without the accessor may observe or advance hidden state on every re-execution", v.Name())
+		}
+	}
+}
+
+// mentionsObj reports whether any call argument references obj (the
+// accessor parameter).
+func mentionsObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// rootCaptured unwinds selector/index/star/paren chains and reports the
+// captured variable at the root, if any.
+func rootCaptured(info *types.Info, captured func(*types.Var) bool, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && captured(v) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isBodyType reports whether t is the rwlock critical-section body type.
+func isBodyType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Body" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/rwlock")
+}
+
+func funcLit(e ast.Expr) *ast.FuncLit {
+	lit, _ := ast.Unparen(e).(*ast.FuncLit)
+	return lit
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if ellipsis {
+			return params.At(n - 1).Type()
+		}
+		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's static callee, or nil for dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			if sel.Kind() == types.MethodVal && !types.IsInterface(sel.Recv()) {
+				return sel.Obj().(*types.Func)
+			}
+			return nil
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package bodyidempotent_test
+
+import (
+	"testing"
+
+	"sprwl/internal/analysis/analysistest"
+	"sprwl/internal/analysis/bodyidempotent"
+)
+
+func TestBodyIdempotent(t *testing.T) {
+	analysistest.Run(t, "testdata", bodyidempotent.Analyzer, "body")
+}

@@ -1,0 +1,86 @@
+// Package body exercises the bodyidempotent analyzer against the real
+// rwlock.Body type: critical-section closures below mutate captured state,
+// call non-Accessor side effects, or follow the sanctioned extraction
+// idiom.
+package body
+
+import (
+	"time"
+
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+)
+
+type section struct{}
+
+func (section) Read(csID int, body rwlock.Body)  {}
+func (section) Write(csID int, body rwlock.Body) {}
+
+// source models a captured stateful input (an RNG, a clock).
+type source struct{ state uint64 }
+
+func (s *source) next() uint64 { s.state++; return s.state }
+
+type result struct{ n uint64 }
+
+// table models a captured transactional data structure: its methods take
+// the accessor, so calls that thread it through are sanctioned.
+type table struct{}
+
+func (table) Get(acc memmodel.Accessor, k uint64) uint64 { return 0 }
+
+func Demo(h section, addr memmodel.Addr, src *source, out *result, m map[uint64]uint64, d table) {
+	count := 0
+	var sum uint64
+	var extracted uint64
+	tick := src.next // a captured func value: hidden state behind a call
+
+	h.Write(0, func(acc memmodel.Accessor) {
+		count++ // want `compounds on every re-execution`
+		acc.Store(addr, 1)
+	})
+
+	h.Write(1, func(acc memmodel.Accessor) {
+		sum = sum + acc.Load(addr) // want `both read and written`
+	})
+
+	h.Write(2, func(acc memmodel.Accessor) {
+		out.n = acc.Load(addr) // want `write through captured "out"`
+	})
+
+	h.Write(3, func(acc memmodel.Accessor) {
+		m[1] = acc.Load(addr) // want `write into captured map "m"`
+	})
+
+	h.Read(4, func(acc memmodel.Accessor) {
+		extracted = src.next() // want `method call on captured "src"`
+	})
+
+	h.Read(5, func(acc memmodel.Accessor) {
+		extracted = tick() // want `captured func value "tick"`
+	})
+
+	h.Read(6, func(acc memmodel.Accessor) {
+		_ = time.Now() // want `call to time.Now is a non-Accessor side effect`
+	})
+
+	// The extraction idiom: a write-only captured scalar carries the
+	// result out of the committed execution. Not reported.
+	h.Read(7, func(acc memmodel.Accessor) {
+		extracted = acc.Load(addr)
+	})
+
+	// Threading the accessor through a captured data structure is the
+	// sanctioned helper idiom. Not reported.
+	h.Read(8, func(acc memmodel.Accessor) {
+		extracted = d.Get(acc, 1)
+	})
+
+	// The shared suppression directive covers deliberate exceptions.
+	h.Read(9, func(acc memmodel.Accessor) {
+		//sprwl:allow(bodyidempotent) fixture: deliberate probe side effect
+		count++
+	})
+
+	_, _ = extracted, count
+}

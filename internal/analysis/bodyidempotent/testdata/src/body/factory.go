@@ -1,0 +1,27 @@
+package body
+
+import (
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+)
+
+var hits int
+
+// converted discovers the literal through an explicit rwlock.Body
+// conversion (multi-file case: the type and the other bodies live in
+// body.go).
+func converted() rwlock.Body {
+	return rwlock.Body(func(acc memmodel.Accessor) {
+		hits++ // want `compounds on every re-execution`
+	})
+}
+
+// assigned discovers the literal through a declared Body variable.
+func assigned(done chan struct{}) rwlock.Body {
+	var b rwlock.Body = func(acc memmodel.Accessor) {
+		go notify(done) // want `go statement`
+	}
+	return b
+}
+
+func notify(done chan struct{}) { close(done) }

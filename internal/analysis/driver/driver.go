@@ -1,0 +1,218 @@
+// Package driver is a dependency-free miniature of the golang.org/x/tools
+// go/analysis framework, sized for this repository: Analyzer values hold a
+// Run function over a type-checked package (Pass), a Program loads module
+// packages offline (stdlib is type-checked from GOROOT source), and the
+// shared //sprwl:allow(<analyzer>) suppression directive is implemented
+// once here for every analyzer.
+//
+// The repository's concurrency and hot-path invariants — flag-before-check
+// fence ordering, idempotent transaction bodies, allocation-free emulation
+// hot paths — are convention-enforced and survive refactoring only if they
+// are machine-checked; this driver is what cmd/sprwl-lint and the
+// analysistest golden suites run on.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name (used in diagnostics and in
+// //sprwl:allow directives), documentation, and a Run function invoked once
+// per package.
+type Analyzer struct {
+	// Name identifies the analyzer; it is the argument accepted by the
+	// //sprwl:allow(...) suppression directive.
+	Name string
+	// Doc describes what the analyzer enforces and where the invariant
+	// comes from.
+	Doc string
+	// Run reports diagnostics for one package through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*pass.diags = append(*pass.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: pass.Analyzer,
+	})
+}
+
+// Result is the outcome of a RunAnalyzers call.
+type Result struct {
+	// Diagnostics are the surviving (non-suppressed) findings, sorted by
+	// position.
+	Diagnostics []Diagnostic
+	// Suppressed are findings silenced by an //sprwl:allow directive.
+	Suppressed []Diagnostic
+}
+
+// RunAnalyzers runs every analyzer over every package, de-duplicates
+// findings by position, applies //sprwl:allow suppression, and returns both
+// surviving and suppressed diagnostics sorted by position.
+func RunAnalyzers(prog *Program, pkgs []*Package, analyzers []*Analyzer) (Result, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Fset: prog.Fset, diags: &all}
+			if err := a.Run(pass); err != nil {
+				return Result{}, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	// Several passes can reach the same site (e.g. two packages' hot
+	// paths both call one allocating helper); one finding per site is
+	// enough.
+	type key struct {
+		a   *Analyzer
+		pos token.Pos
+	}
+	seen := make(map[key]bool)
+	var deduped []Diagnostic
+	for _, d := range all {
+		k := key{d.Analyzer, d.Pos}
+		if !seen[k] {
+			seen[k] = true
+			deduped = append(deduped, d)
+		}
+	}
+
+	allows := collectAllows(prog)
+	var res Result
+	for _, d := range deduped {
+		if allows.covers(prog.Fset.Position(d.Pos), d.Analyzer.Name) {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sortDiags(prog.Fset, res.Diagnostics)
+	sortDiags(prog.Fset, res.Suppressed)
+	return res, nil
+}
+
+func sortDiags(fset *token.FileSet, ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Analyzer.Name < ds[j].Analyzer.Name
+	})
+}
+
+// allowIndex maps filename → line → analyzer names allowed on that line.
+type allowIndex map[string]map[int][]string
+
+// covers reports whether a diagnostic at p is silenced: an
+// //sprwl:allow(name) directive on the same line or on the line
+// immediately above suppresses analyzer name ("all" suppresses every
+// analyzer).
+func (ai allowIndex) covers(p token.Position, name string) bool {
+	lines := ai[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name || n == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows scans every loaded file (including dependencies, so a
+// suppression next to an allocating helper covers findings reported from
+// any hot path that reaches it).
+func collectAllows(prog *Program) allowIndex {
+	ai := make(allowIndex)
+	for _, pkg := range prog.Packages() {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names := parseAllow(c.Text)
+					if len(names) == 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					lines := ai[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						ai[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], names...)
+				}
+			}
+		}
+	}
+	return ai
+}
+
+// parseAllow extracts the analyzer names from an //sprwl:allow(a, b)
+// comment; text after the closing parenthesis is the human justification
+// and is ignored here.
+func parseAllow(text string) []string {
+	rest, ok := strings.CutPrefix(text, "//sprwl:allow(")
+	if !ok {
+		return nil
+	}
+	inner, _, ok := strings.Cut(rest, ")")
+	if !ok {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(inner, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// HasDirective reports whether a declaration's doc comment group contains
+// the //sprwl:<directive> marker line (e.g. HasDirective(fd.Doc,
+// "hotpath")). Like //go: directives, the marker must be its own comment
+// line attached to the declaration.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	marker := "//sprwl:" + directive
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}

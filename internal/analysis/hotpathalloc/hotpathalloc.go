@@ -1,0 +1,353 @@
+// Package hotpathalloc enforces the repository's allocation-free hot-path
+// invariant: a function annotated with a //sprwl:hotpath doc-comment
+// directive — and every module function it statically calls — must not
+// contain allocation-causing constructs.
+//
+// The annotated paths are the HTM emulation's transactional Load/Store and
+// Attempt (DESIGN.md "Emulation data structures": flat, allocation-free in
+// steady state), the obs event-ring record methods (obs package doc,
+// "Hot-path contract"), and SpRWL's Read/Write critical-section paths. A
+// single stray allocation on any of these turns a nanosecond-scale
+// operation into a garbage-collector customer and invalidates the paper's
+// scaling comparisons.
+//
+// Reported constructs: make and new; append (growth may allocate); map and
+// slice literals and &composite literals; map writes; string concatenation
+// and string<->[]byte/[]rune conversions; function literals that capture
+// variables (closure allocation); interface boxing of non-pointer values
+// (call arguments and assignments); any call into package fmt; and the
+// print/println builtins.
+//
+// Limits, by design: dynamic calls (interface methods and func values) are
+// not followed — keep hot paths concrete, and back the static guarantee
+// with testing.AllocsPerRun regression tests (see TestEmitAllocs,
+// TestTxFastPathAllocs, TestReadWriteAllocs). Arguments of panic calls are
+// skipped: unwinding is already the exceptional, allocation-tolerant path.
+// Amortized growth that is provably allocation-free in steady state is
+// suppressed at the site with //sprwl:allow(hotpathalloc) plus a
+// justification.
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sprwl/internal/analysis/driver"
+)
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &driver.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation-causing constructs in //sprwl:hotpath functions and their static callees",
+	Run:  run,
+}
+
+func run(pass *driver.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !driver.HasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, visited: make(map[*types.Func]bool)}
+			c.checkFunc(pass.Pkg, fd, []string{funcName(pass.Pkg, fd)})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *driver.Pass
+	visited map[*types.Func]bool
+}
+
+func funcName(pkg *driver.Package, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+			name = t + "." + name
+		}
+	}
+	return pkg.Name + "." + name
+}
+
+func recvTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+func (c *checker) checkFunc(pkg *driver.Package, fd *ast.FuncDecl, chain []string) {
+	c.walk(pkg, fd.Body, chain)
+}
+
+// follow descends into a statically-resolved callee declared in a loaded
+// (module) package.
+func (c *checker) follow(fn *types.Func, chain []string) {
+	if c.visited[fn] {
+		return
+	}
+	c.visited[fn] = true
+	src, ok := c.pass.Prog.FuncSource(fn)
+	if !ok || src.Decl.Body == nil {
+		return
+	}
+	c.checkFunc(src.Pkg, src.Decl, append(chain, funcName(src.Pkg, src.Decl)))
+}
+
+func (c *checker) report(chain []string, pos token.Pos, format string, args ...any) {
+	via := ""
+	if len(chain) > 1 {
+		via = " (reached via " + strings.Join(chain, " -> ") + ")"
+	}
+	c.pass.Reportf(pos, "hotpath %s: %s%s", chain[0], fmt.Sprintf(format, args...), via)
+}
+
+func (c *checker) walk(pkg *driver.Package, root ast.Node, chain []string) {
+	info := pkg.Info
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.checkCall(pkg, n, chain)
+		case *ast.FuncLit:
+			if caps := captures(info, n); len(caps) > 0 {
+				c.report(chain, n.Pos(), "function literal captures %s (closure allocates)", strings.Join(caps, ", "))
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				c.report(chain, n.Pos(), "map literal allocates")
+			case *types.Slice:
+				c.report(chain, n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(chain, n.Pos(), "address of composite literal allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(info, n, chain)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if b, ok := info.Types[n.X].Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					c.report(chain, n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.GoStmt:
+			c.report(chain, n.Pos(), "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+// checkCall handles builtins, conversions, static callees and
+// interface-boxing arguments. It returns false when the subtree must not
+// be descended into (panic arguments).
+func (c *checker) checkCall(pkg *driver.Package, call *ast.CallExpr, chain []string) bool {
+	info := pkg.Info
+
+	// Conversions: string<->[]byte/[]rune copy; conversion to interface
+	// boxes.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkConversion(info, tv.Type, call, chain)
+		return true
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.report(chain, call.Pos(), "make allocates")
+			case "new":
+				c.report(chain, call.Pos(), "new allocates")
+			case "append":
+				c.report(chain, call.Pos(), "append may grow and allocate")
+			case "print", "println":
+				c.report(chain, call.Pos(), "%s allocates and is not for hot paths", b.Name())
+			case "panic":
+				// Unwinding is the exceptional path; it is already
+				// allocation-tolerant, so the panic argument
+				// (including the boxed value) is exempt.
+				return false
+			}
+			return true
+		}
+	}
+
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch {
+		case fn.Pkg().Path() == "fmt":
+			c.report(chain, call.Pos(), "call to fmt.%s allocates (formatting, boxing)", fn.Name())
+			return true // boxing of its arguments is subsumed
+		default:
+			c.follow(fn, chain)
+		}
+	}
+	c.checkArgBoxing(info, call, chain)
+	return true
+}
+
+func (c *checker) checkConversion(info *types.Info, target types.Type, call *ast.CallExpr, chain []string) {
+	arg := call.Args[0]
+	at := info.Types[arg].Type
+	if at == nil {
+		return
+	}
+	if types.IsInterface(target) && boxes(at) {
+		c.report(chain, call.Pos(), "conversion of %s to interface %s boxes (allocates)", at, target)
+		return
+	}
+	tb, _ := target.Underlying().(*types.Basic)
+	as, _ := at.Underlying().(*types.Slice)
+	if tb != nil && tb.Info()&types.IsString != 0 && as != nil {
+		c.report(chain, call.Pos(), "[]byte/[]rune-to-string conversion allocates")
+	}
+	ts, _ := target.Underlying().(*types.Slice)
+	ab, _ := at.Underlying().(*types.Basic)
+	if ts != nil && ab != nil && ab.Info()&types.IsString != 0 {
+		c.report(chain, call.Pos(), "string-to-slice conversion allocates")
+	}
+}
+
+func (c *checker) checkAssign(info *types.Info, as *ast.AssignStmt, chain []string) {
+	// Map element writes may allocate (and the hot paths were de-mapped
+	// deliberately — see DESIGN.md §7).
+	for _, lhs := range as.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if _, ok := info.Types[ix.X].Type.Underlying().(*types.Map); ok {
+				c.report(chain, lhs.Pos(), "map assignment may allocate")
+			}
+		}
+	}
+	// Boxing through assignment to an interface-typed location.
+	if as.Tok == token.ASSIGN && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			lt := info.Types[lhs].Type
+			rt := info.Types[as.Rhs[i]].Type
+			if lt != nil && rt != nil && types.IsInterface(lt) && boxes(rt) {
+				c.report(chain, as.Rhs[i].Pos(), "assignment of %s to interface %s boxes (allocates)", rt, lt)
+			}
+		}
+	}
+}
+
+// checkArgBoxing reports non-pointer concrete values passed to
+// interface-typed parameters.
+func (c *checker) checkArgBoxing(info *types.Info, call *ast.CallExpr, chain []string) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if ok {
+		for i, arg := range call.Args {
+			pt := paramType(sig, i, call.Ellipsis != token.NoPos)
+			at := info.Types[arg].Type
+			if pt == nil || at == nil {
+				continue
+			}
+			if types.IsInterface(pt) && boxes(at) {
+				c.report(chain, arg.Pos(), "passing %s to interface parameter boxes (allocates)", at)
+			}
+		}
+	}
+}
+
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if ellipsis {
+			return params.At(n - 1).Type()
+		}
+		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: true for concrete non-pointer types (pointers and interfaces
+// fit in the interface data word).
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan:
+		// Pointer-shaped: the value itself is the interface word.
+		return false
+	}
+	return true
+}
+
+// captures lists the variables a function literal captures from its
+// enclosing function, each of which forces a heap-allocated closure.
+func captures(info *types.Info, lit *ast.FuncLit) []string {
+	seen := make(map[*types.Var]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pkg() == nil || (v.Parent() != nil && v.Parent() == v.Pkg().Scope()) {
+			return true // package-level: no capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// calleeFunc resolves a call's static callee: package functions and
+// methods with concrete receivers. Interface methods and func values
+// return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			if sel.Kind() == types.MethodVal && !types.IsInterface(sel.Recv()) {
+				return sel.Obj().(*types.Func)
+			}
+			return nil
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package hot
+
+// grow is not annotated itself; it is reported because the hotpath root
+// Chain in hot.go reaches it statically.
+func grow(xs []int, x int) []int {
+	return append(xs, x) // want `append may grow and allocate \(reached via hot\.Chain -> hot\.grow\)`
+}

@@ -1,0 +1,64 @@
+// Package hot exercises the hotpathalloc analyzer: annotated roots in this
+// file reach an allocating helper in helper.go (the cross-function,
+// cross-file case), and the constructs below cover the direct allocation
+// classes.
+package hot
+
+import "fmt"
+
+func box(v any) {}
+
+var sink any
+
+//sprwl:hotpath
+func Bad(n int, buf []byte) string {
+	b := make([]byte, n)         // want `make allocates`
+	m := map[int]int{}           // want `map literal allocates`
+	m[n] = n                     // want `map assignment may allocate`
+	p := new(int)                // want `new allocates`
+	f := func() int { return n } // want `function literal captures n \(closure allocates\)`
+	box(n)                       // want `passing int to interface parameter boxes`
+	sink = n                     // want `boxes \(allocates\)`
+	fmt.Println(n)               // want `call to fmt.Println allocates`
+	s := string(buf)             // want `\[\]byte/\[\]rune-to-string conversion allocates`
+	s = s + "!"                  // want `string concatenation allocates`
+	_, _, _, _ = m, p, f, b
+	return s
+}
+
+// Clean is allocation-free: plain arithmetic, array indexing, and calls to
+// non-allocating helpers are all fine.
+//
+//sprwl:hotpath
+func Clean(xs []uint64) uint64 {
+	var total uint64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Chain only allocates transitively, through the helper in helper.go.
+//
+//sprwl:hotpath
+func Chain(xs []int, x int) []int {
+	return grow(xs, x)
+}
+
+// Allowed demonstrates the shared suppression directive.
+//
+//sprwl:hotpath
+func Allowed(xs []int, x int) []int {
+	//sprwl:allow(hotpathalloc) fixture: amortized growth is accepted here
+	return append(xs, x)
+}
+
+// Guard shows the panic exemption: unwinding is the exceptional path, so
+// its argument (including fmt formatting) is not reported.
+//
+//sprwl:hotpath
+func Guard(ok bool) {
+	if !ok {
+		panic(fmt.Sprintf("guard failed"))
+	}
+}

@@ -1,0 +1,12 @@
+package releaseorder_test
+
+import (
+	"testing"
+
+	"sprwl/internal/analysis/analysistest"
+	"sprwl/internal/analysis/releaseorder"
+)
+
+func TestReleaseOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", releaseorder.Analyzer, "corefix")
+}

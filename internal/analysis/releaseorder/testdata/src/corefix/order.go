@@ -1,0 +1,79 @@
+// Package core mirrors the shape of the real internal/core protocol code —
+// the env Load/Store methods, the address-family helpers, and the
+// flag/unflag pairs — so the releaseorder analyzer's structural matching
+// can be exercised on reduced functions. The analyzer gates on the package
+// name "core".
+package core
+
+import (
+	"sync/atomic"
+
+	"sprwl/internal/memmodel"
+	"sprwl/internal/rwlock"
+)
+
+type envT struct{}
+
+func (envT) Load(a memmodel.Addr) uint64     { return 0 }
+func (envT) Store(a memmodel.Addr, v uint64) {}
+
+const (
+	stateEmpty  = 0
+	stateWriter = 2
+)
+
+type lock struct {
+	e     envT
+	glVer memmodel.Addr
+}
+
+func (l *lock) stateAddr(i int) memmodel.Addr     { return memmodel.Addr(i) }
+func (l *lock) clockWAddr(i int) memmodel.Addr    { return memmodel.Addr(i + 64) }
+func (l *lock) readerVerAddr(i int) memmodel.Addr { return memmodel.Addr(i + 128) }
+
+func (l *lock) flagReader()   {}
+func (l *lock) unflagReader() {}
+
+// badRead retracts the reader flag before the body runs.
+func (l *lock) badRead(body rwlock.Body) {
+	l.flagReader()
+	l.unflagReader() // want `retracts the reader flag before the critical-section body`
+	body(nil)
+}
+
+// goodRead is the documented release order.
+func (l *lock) goodRead(body rwlock.Body) {
+	l.flagReader()
+	body(nil)
+	l.unflagReader()
+}
+
+// badClear publishes the state slot as empty while the body is still in
+// flight.
+func (l *lock) badClear(body rwlock.Body) {
+	l.e.Store(l.stateAddr(0), stateEmpty) // want `cleared to stateEmpty before the critical-section body`
+	body(nil)
+}
+
+// badRetire retires the versioned-SGL registration before the flag is up.
+func (l *lock) badRetire() {
+	l.e.Store(l.readerVerAddr(0), 0) // want `retired \(stored zero\) before the reader is flagged`
+	l.flagReader()
+}
+
+// goodRetire flags first, exactly like the real flagReader.
+func (l *lock) goodRetire() {
+	l.flagReader()
+	l.e.Store(l.readerVerAddr(0), 0)
+}
+
+// badAtomic bypasses the simulated memory model.
+func badAtomic(x *uint64) {
+	atomic.AddUint64(x, 1) // want `direct sync/atomic call atomic.AddUint64`
+}
+
+// allowedAtomic is a deliberate, justified exception to the same rule.
+func allowedAtomic(x *uint64) {
+	//sprwl:allow(releaseorder) fixture: deliberate exception for auxiliary state
+	atomic.AddUint64(x, 1)
+}

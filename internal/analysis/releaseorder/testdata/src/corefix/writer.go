@@ -1,0 +1,27 @@
+package core
+
+// badWrite advertises the writer before publishing its clock (multi-file
+// case: the lock shape lives in order.go).
+func (l *lock) badWrite(end uint64) {
+	l.e.Store(l.stateAddr(0), stateWriter) // want `advertised before the writer clock`
+	l.e.Store(l.clockWAddr(0), end)
+}
+
+// goodWrite is the documented ReaderSync advertise order.
+func (l *lock) goodWrite(end uint64) {
+	l.e.Store(l.clockWAddr(0), end)
+	l.e.Store(l.stateAddr(0), stateWriter)
+}
+
+// badRegister registers under the versioned SGL without validating the
+// lock version afterwards (unsafe lazy subscription).
+func (l *lock) badRegister(observed uint64) {
+	l.e.Store(l.readerVerAddr(0), observed+1) // want `not followed by a glVer validation`
+}
+
+// goodRegister validates after registering, like the real
+// flagReaderAndSyncGL.
+func (l *lock) goodRegister(observed uint64) {
+	l.e.Store(l.readerVerAddr(0), observed+1)
+	_ = l.e.Load(l.glVer)
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+)
+
+// TestReadWriteCommitPathDoesNotAllocate pins the steady-state allocation
+// behavior of the SpRWL acquire paths: once a handle exists, an
+// uncontended Read or Write that commits in hardware must not
+// heap-allocate. This is what the cached per-handle transaction closures
+// in NewHandle buy — without them, every attempt re-built a closure that
+// escaped through the env.Env.Attempt interface.
+func TestReadWriteCommitPathDoesNotAllocate(t *testing.T) {
+	space := htm.MustNewSpace(htm.Config{Threads: 1, Words: 1 << 14})
+	e := htm.NewRuntime(space, nil)
+	ar := memmodel.NewArena(0, space.Size())
+	l := MustNew(e, ar, 1, 4, DefaultOptions(), nil)
+	h := l.NewHandle(0)
+
+	data := ar.AllocWords(1)
+
+	var sink uint64
+	readBody := func(acc memmodel.Accessor) { sink += acc.Load(data) }
+	writeBody := func(acc memmodel.Accessor) { acc.Store(data, acc.Load(data)+1) }
+
+	// Warm up: first transactions grow the emulation's read/write sets.
+	for i := 0; i < 4; i++ {
+		h.Write(0, writeBody)
+		h.Read(1, readBody)
+	}
+
+	if avg := testing.AllocsPerRun(100, func() { h.Read(1, readBody) }); avg != 0 {
+		t.Fatalf("Read allocated %.2f objects per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { h.Write(0, writeBody) }); avg != 0 {
+		t.Fatalf("Write allocated %.2f objects per run, want 0", avg)
+	}
+	_ = sink
+}

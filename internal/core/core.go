@@ -270,7 +270,27 @@ func (l *Lock) NewHandle(slot int) rwlock.Handle {
 	if slot < 0 || slot >= l.threads {
 		panic(fmt.Sprintf("core: slot %d out of range [0,%d)", slot, l.threads))
 	}
-	return &handle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+	h := &handle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+	// The attempt closures are built once per handle and reused by every
+	// hardware attempt: passing a fresh closure through the env.Env.Attempt
+	// interface would make it escape and allocate on every retry of every
+	// critical section. The current body travels through h.txBody, which is
+	// owned by the handle's thread.
+	glAddr := l.gl.Addr()
+	h.txRead = func(tx env.TxAccessor) {
+		if tx.Load(glAddr) != 0 {
+			tx.Abort(env.AbortExplicit)
+		}
+		h.txBody(tx)
+	}
+	h.txWrite = func(tx env.TxAccessor) {
+		if tx.Load(glAddr) != 0 {
+			tx.Abort(env.AbortExplicit)
+		}
+		h.txBody(tx)
+		h.checkForReaders(tx)
+	}
+	return h
 }
 
 // handle is one thread's endpoint; see rwlock.Handle for the usage
@@ -285,6 +305,15 @@ type handle struct {
 	// reader flag lives in (modeFlags or modeSNZI), so the unflag always
 	// retracts from the structure that was used.
 	flaggedIn uint64
+
+	// txBody carries the critical-section body for the duration of one
+	// Read/Write call; txRead and txWrite are the per-handle attempt
+	// closures that subscribe to the fallback lock, run txBody, and (for
+	// writers) perform the commit-time reader check. Caching them here
+	// keeps the attempt loops allocation-free.
+	txBody  rwlock.Body
+	txRead  func(tx env.TxAccessor)
+	txWrite func(tx env.TxAccessor)
 }
 
 func (l *Lock) stateAddr(i int) memmodel.Addr      { return l.state + memmodel.Addr(i) }

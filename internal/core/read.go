@@ -13,6 +13,8 @@ import (
 // paper's uninstrumented reader path: reader synchronization (Alg. 2), then
 // flag-and-check against the fallback lock (Alg. 1), then the body runs
 // with direct, fence-ordered accesses, untracked by any transaction.
+//
+//sprwl:hotpath
 func (h *handle) Read(csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
@@ -56,33 +58,31 @@ func (h *handle) Read(csID int, body rwlock.Body) {
 // aborts burn budget (§3.4, same retry policy as writers).
 func (h *handle) readTryHTM(csID int, start uint64, body rwlock.Body) bool {
 	l := h.l
-	glAddr := l.gl.Addr()
+	h.txBody = body
+	committed := false
 	for attempts := 0; attempts < l.opts.ReaderRetries; {
 		if l.gl.IsLocked() {
 			// The fallback path is active; the uninstrumented path
 			// knows how to synchronize with it.
-			return false
+			break
 		}
 		bodyStart := l.e.Now()
-		cause := l.e.Attempt(h.slot, env.TxOpts{}, func(tx env.TxAccessor) {
-			if tx.Load(glAddr) != 0 {
-				tx.Abort(env.AbortExplicit)
-			}
-			body(tx)
-		})
+		cause := l.e.Attempt(h.slot, env.TxOpts{}, h.txRead)
 		if cause == env.Committed {
 			now := l.e.Now()
 			l.sample(h.slot, csID, now-bodyStart)
 			h.ring.Section(obs.Reader, csID, env.ModeHTM, start, now)
-			return true
+			committed = true
+			break
 		}
 		h.ring.Abort(obs.Reader, csID, cause, l.e.Now())
 		if cause == env.AbortCapacity {
-			return false
+			break
 		}
 		attempts++
 	}
-	return false
+	h.txBody = nil
+	return committed
 }
 
 // readersWait implements Alg. 2's Readers_Wait: wait for the active writer

@@ -18,6 +18,8 @@ import (
 // (Alg. 3, δ = half the writer's expected duration). After MaxRetries
 // attempts — immediately on a capacity abort — the writer takes the global
 // fallback lock, waits for active readers to drain, and runs pessimistically.
+//
+//sprwl:hotpath
 func (h *handle) Write(csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
@@ -31,21 +33,16 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 		l.e.Store(l.stateAddr(h.slot), stateWriter)
 	}
 
-	glAddr := l.gl.Addr()
+	h.txBody = body
 	attempts := 0
 	for {
 		// Alg. 1 line 34: do not even start while the fallback lock
 		// is held — the subscription inside would abort us at once.
 		h.spinWhileGLHeld(obs.Writer, csID)
 		bodyStart := l.e.Now()
-		cause := l.e.Attempt(h.slot, env.TxOpts{}, func(tx env.TxAccessor) {
-			if tx.Load(glAddr) != 0 {
-				tx.Abort(env.AbortExplicit)
-			}
-			body(tx)
-			h.checkForReaders(tx)
-		})
+		cause := l.e.Attempt(h.slot, env.TxOpts{}, h.txWrite)
 		if cause == env.Committed {
+			h.txBody = nil
 			l.sample(h.slot, csID, l.e.Now()-bodyStart)
 			h.finishWrite(csID, start, env.ModeHTM)
 			return
@@ -59,6 +56,8 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 			h.writerWait(csID)
 		}
 	}
+
+	h.txBody = nil
 
 	// Pessimistic fallback (Alg. 1 lines 43–45).
 	h.lockGL()

@@ -125,6 +125,8 @@ func (t *Tx) checkAlive() {
 // transactional writer, requester-wins. ROT loads are untracked, exactly
 // like POWER8 rollback-only transactions: they carry no capacity cost and a
 // later store to the line does not abort the ROT.
+//
+//sprwl:hotpath
 func (t *Tx) Load(a memmodel.Addr) uint64 {
 	if t.suspended {
 		return t.suspendedLoad(a)
@@ -212,6 +214,8 @@ func (t *Tx) resolveWriter(lm *lineMeta) {
 // Store implements env.TxAccessor. The write is buffered; the line's writer
 // ownership is published before conflicting readers are doomed, closing the
 // race with concurrent read-set insertions.
+//
+//sprwl:hotpath
 func (t *Tx) Store(a memmodel.Addr, v uint64) {
 	if t.suspended {
 		t.space.Store(a, v)
@@ -362,9 +366,12 @@ func (t *Tx) cleanup() {
 
 // Attempt runs body as one best-effort transaction on slot and returns
 // Committed or the abort cause. Buffered stores are discarded on abort.
+//
+//sprwl:hotpath
 func (s *Space) Attempt(slot int, opts env.TxOpts, body func(tx env.TxAccessor)) (cause env.AbortCause) {
 	t := &s.txs[slot]
 	t.begin(opts)
+	//sprwl:allow(hotpathalloc) one closure per Attempt is the recover scope itself; Go offers no closure-free recover, and the capture is two words amortized against a full transaction attempt
 	defer func() {
 		if r := recover(); r != nil {
 			ap, ok := r.(abortPanic)

@@ -188,6 +188,8 @@ type Ring struct {
 
 // Record appends one event, flushing to the pipeline's sinks if the ring
 // is full.
+//
+//sprwl:hotpath
 func (r *Ring) Record(ev Event) {
 	if r == nil {
 		return
@@ -201,6 +203,8 @@ func (r *Ring) Record(ev Event) {
 
 // Section records one completed critical section of side rw spanning
 // [start, end] that finished in commit mode m.
+//
+//sprwl:hotpath
 func (r *Ring) Section(rw uint8, cs int, m env.CommitMode, start, end uint64) {
 	if r == nil {
 		return
@@ -210,6 +214,8 @@ func (r *Ring) Section(rw uint8, cs int, m env.CommitMode, start, end uint64) {
 
 // Abort records one aborted hardware attempt of side rw with the given
 // cause. env.Committed is not an abort and is dropped.
+//
+//sprwl:hotpath
 func (r *Ring) Abort(rw uint8, cs int, cause env.AbortCause, ts uint64) {
 	if r == nil || cause == env.Committed {
 		return
@@ -219,6 +225,8 @@ func (r *Ring) Abort(rw uint8, cs int, cause env.AbortCause, ts uint64) {
 
 // Wait records one scheduling wait spanning [start, end) for the given
 // reason. Zero-length waits are dropped.
+//
+//sprwl:hotpath
 func (r *Ring) Wait(reason uint8, rw uint8, cs int, start, end uint64) {
 	if r == nil || end <= start {
 		return
@@ -227,6 +235,8 @@ func (r *Ring) Wait(reason uint8, rw uint8, cs int, start, end uint64) {
 }
 
 // SGL records one fallback-lock hold spanning [acquired, released].
+//
+//sprwl:hotpath
 func (r *Ring) SGL(cs int, acquired, released uint64) {
 	if r == nil {
 		return
@@ -236,6 +246,8 @@ func (r *Ring) SGL(cs int, acquired, released uint64) {
 
 // Tx records one hardware-transaction attempt spanning [start, end] that
 // ended with the given cause (env.Committed for a commit).
+//
+//sprwl:hotpath
 func (r *Ring) Tx(cs int, cause env.AbortCause, start, end uint64) {
 	if r == nil {
 		return

@@ -127,12 +127,16 @@ func readerIsolation(t *testing.T, f Factory, cfg Config) {
 						acc.Store(y, v)
 					})
 				} else {
+					// Extract inside, assert outside: the body may
+					// re-execute on abort, so the assertion must only
+					// judge the committed execution's values.
+					var vx, vy uint64
 					h.Read(1, func(acc memmodel.Accessor) {
-						vx, vy := acc.Load(x), acc.Load(y)
-						if vx != vy {
-							t.Errorf("%s: torn read %d vs %d", l.Name(), vx, vy)
-						}
+						vx, vy = acc.Load(x), acc.Load(y)
 					})
+					if vx != vy {
+						t.Errorf("%s: torn read %d vs %d", l.Name(), vx, vy)
+					}
 				}
 			}
 		}(slot)
@@ -150,14 +154,23 @@ func readersOverlap(t *testing.T, f Factory, cfg Config) {
 			defer wg.Done()
 			h := l.NewHandle(slot)
 			for i := 0; i < cfg.Rounds*2 && maxActive.Load() < 2; i++ {
+				// The side effects below are the point of this test: it
+				// measures whether two reader bodies are ever active at
+				// once. The body performs no Accessor operation, so a
+				// hardware attempt has no abort point inside it and the
+				// Add(+1)/Add(-1) pair always runs to completion.
 				h.Read(0, func(acc memmodel.Accessor) {
+					//sprwl:allow(bodyidempotent) concurrency probe; see above
 					n := active.Add(1)
+					//sprwl:allow(bodyidempotent) concurrency probe; see above
 					for o := maxActive.Load(); n > o; o = maxActive.Load() {
+						//sprwl:allow(bodyidempotent) concurrency probe; see above
 						if maxActive.CompareAndSwap(o, n) {
 							break
 						}
 					}
 					runtime.Gosched()
+					//sprwl:allow(bodyidempotent) concurrency probe; see above
 					active.Add(-1)
 				})
 			}

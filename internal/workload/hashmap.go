@@ -93,6 +93,11 @@ func (w *Hashmap) Worker(h rwlock.Handle, slot int, seed uint64) func() {
 	rng := rand.New(rand.NewPCG(seed, uint64(slot)+1))
 	cfg := w.cfg
 	keyspace := uint64(cfg.Items)
+	// Lookup keys are drawn before entering the read section: the body may
+	// re-execute on abort, and advancing the RNG inside it would make each
+	// retry look up different keys (and desynchronize the per-thread
+	// stream).
+	keys := make([]uint64, cfg.LookupsPerRead)
 	return func() {
 		if rng.IntN(100) < cfg.UpdatePercent {
 			key := rng.Uint64N(keyspace)
@@ -112,9 +117,12 @@ func (w *Hashmap) Worker(h rwlock.Handle, slot int, seed uint64) func() {
 			}
 			return
 		}
+		for i := range keys {
+			keys[i] = rng.Uint64N(keyspace)
+		}
 		h.Read(csLookup, func(acc memmodel.Accessor) {
-			for i := 0; i < cfg.LookupsPerRead; i++ {
-				w.Map.Lookup(acc, rng.Uint64N(keyspace))
+			for _, k := range keys {
+				w.Map.Lookup(acc, k)
 			}
 		})
 	}

@@ -76,8 +76,9 @@ func (w *TPCC) Worker(h rwlock.Handle, slot int, seed uint64, now func() uint64)
 			})
 		case pick < m.StockLevel+m.OrderStatus+m.Delivery:
 			in := db.GenDelivery(rng)
+			ts := now() // drawn outside the body: retries must replay one timestamp
 			h.Write(csDelivery, func(acc memmodel.Accessor) {
-				db.Delivery(acc, in, now())
+				db.Delivery(acc, in, ts)
 			})
 		case pick < m.StockLevel+m.OrderStatus+m.Delivery+m.Payment:
 			in := db.GenPayment(rng)
@@ -86,8 +87,9 @@ func (w *TPCC) Worker(h rwlock.Handle, slot int, seed uint64, now func() uint64)
 			})
 		default:
 			in := db.GenNewOrder(rng)
+			ts := now() // drawn outside the body: retries must replay one timestamp
 			h.Write(csNewOrder, func(acc memmodel.Accessor) {
-				db.NewOrder(acc, in, now())
+				db.NewOrder(acc, in, ts)
 			})
 		}
 	}

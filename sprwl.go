@@ -178,12 +178,14 @@ type Handle struct {
 // static critical section for the paper's duration-estimation heuristics;
 // use a distinct small integer per call site.
 func (h Handle) Read(csID int, body func(Accessor)) {
-	h.h.Read(csID, func(acc memmodel.Accessor) { body(acc) })
+	// Accessor aliases memmodel.Accessor, so body converts without a
+	// wrapper closure (which would allocate per section).
+	h.h.Read(csID, body)
 }
 
 // Write executes body as an updating critical section. The body may run
 // several times (transactional retry): it must be idempotent apart from its
 // Accessor stores.
 func (h Handle) Write(csID int, body func(Accessor)) {
-	h.h.Write(csID, func(acc memmodel.Accessor) { body(acc) })
+	h.h.Write(csID, body)
 }
