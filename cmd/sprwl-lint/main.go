@@ -6,21 +6,34 @@
 //
 // Patterns follow the go tool's form ("./...", "./internal/core",
 // "./internal/..."); with no arguments the whole module is checked. The
-// exit status is 0 when no diagnostics survive suppression, 1 when any
-// invariant violation is reported, and 2 when loading or type-checking
+// exit status is 0 when no diagnostics survive suppression and no
+// suppression is stale, 1 when any invariant violation or stale
+// //sprwl:allow directive is reported, and 2 when loading or type-checking
 // fails. Intentional exceptions are suppressed at the site with
 // //sprwl:allow(<analyzer>) plus a justification; suppressed findings are
-// counted on stderr so they stay visible.
+// counted on stderr so they stay visible, and a directive that suppresses
+// nothing is itself an error — delete the allow when the finding it
+// justified is gone.
+//
+// With -json the run is emitted as a single machine-readable object on
+// stdout (diagnostics, suppressed findings, stale allows, and counts; see
+// the report type) for CI artifacts and dashboards; the human format and
+// exit codes are unchanged otherwise.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"sprwl/internal/analysis/atomicmix"
 	"sprwl/internal/analysis/bodyidempotent"
+	"sprwl/internal/analysis/doomedread"
 	"sprwl/internal/analysis/driver"
+	"sprwl/internal/analysis/fenceorder"
 	"sprwl/internal/analysis/hotpathalloc"
 	"sprwl/internal/analysis/releaseorder"
 )
@@ -28,45 +41,122 @@ import (
 var analyzers = []*driver.Analyzer{
 	atomicmix.Analyzer,
 	bodyidempotent.Analyzer,
+	doomedread.Analyzer,
+	fenceorder.Analyzer,
 	hotpathalloc.Analyzer,
 	releaseorder.Analyzer,
 }
 
+// finding is one diagnostic in the -json report.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// staleAllow is one unused suppression directive in the -json report.
+type staleAllow struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+}
+
+// report is the top-level -json object.
+type report struct {
+	Diagnostics []finding    `json:"diagnostics"`
+	Suppressed  []finding    `json:"suppressed"`
+	StaleAllows []staleAllow `json:"staleAllows"`
+	Counts      struct {
+		Diagnostics int `json:"diagnostics"`
+		Suppressed  int `json:"suppressed"`
+		StaleAllows int `json:"staleAllows"`
+	} `json:"counts"`
+}
+
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit the run as a JSON object on stdout")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	moduleDir, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	prog, err := driver.NewProgram(moduleDir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	pkgs, err := prog.LoadPatterns(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	res, err := driver.RunAnalyzers(prog, pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	for _, d := range res.Diagnostics {
-		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+
+	// Positions are reported relative to the module root: stable across
+	// checkouts, so JSON artifacts diff cleanly between CI runs.
+	rel := func(file string) string {
+		if r, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return file
 	}
-	if n := len(res.Suppressed); n > 0 {
-		fmt.Fprintf(os.Stderr, "sprwl-lint: %d finding(s) suppressed by //sprwl:allow\n", n)
+	toFindings := func(ds []driver.Diagnostic) []finding {
+		out := make([]finding, 0, len(ds))
+		for _, d := range ds {
+			p := prog.Fset.Position(d.Pos)
+			out = append(out, finding{
+				File: rel(p.Filename), Line: p.Line, Column: p.Column,
+				Analyzer: d.Analyzer.Name, Message: d.Message,
+			})
+		}
+		return out
 	}
-	if len(res.Diagnostics) > 0 {
-		fmt.Fprintf(os.Stderr, "sprwl-lint: %d invariant violation(s)\n", len(res.Diagnostics))
+
+	if *jsonOut {
+		var r report
+		r.Diagnostics = toFindings(res.Diagnostics)
+		r.Suppressed = toFindings(res.Suppressed)
+		r.StaleAllows = make([]staleAllow, 0, len(res.StaleAllows))
+		for _, a := range res.StaleAllows {
+			p := prog.Fset.Position(a.Pos)
+			r.StaleAllows = append(r.StaleAllows, staleAllow{File: rel(p.Filename), Line: p.Line, Analyzers: a.Names})
+		}
+		r.Counts.Diagnostics = len(r.Diagnostics)
+		r.Counts.Suppressed = len(r.Suppressed)
+		r.Counts.StaleAllows = len(r.StaleAllows)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+		}
+		for _, a := range res.StaleAllows {
+			fmt.Printf("%s: stale //sprwl:allow(%s): suppresses nothing; delete it or re-justify against a live finding\n",
+				prog.Fset.Position(a.Pos), strings.Join(a.Names, ", "))
+		}
+		if n := len(res.Suppressed); n > 0 {
+			fmt.Fprintf(os.Stderr, "sprwl-lint: %d finding(s) suppressed by //sprwl:allow\n", n)
+		}
+	}
+	if bad := len(res.Diagnostics) + len(res.StaleAllows); bad > 0 {
+		fmt.Fprintf(os.Stderr, "sprwl-lint: %d invariant violation(s) and/or stale suppression(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sprwl-lint:", err)
+	os.Exit(2)
 }
 
 // findModuleRoot walks up from the working directory to the enclosing

@@ -9,8 +9,16 @@
 //	expr // want "regexp" "another regexp"
 //
 // with one quoted regular expression per expected diagnostic on that line.
-// Every reported diagnostic must match a want on its line and every want
-// must be matched by a diagnostic — unmatched either way fails the test.
+// A regexp may be prefixed with a column number, as in
+//
+//	a, b := f() // want 4:"unused" 7:"unused"
+//
+// which additionally pins the diagnostic's column — the way to tell two
+// findings on one line apart. Regexes are compiled with (?s), so "." also
+// crosses newlines and a single want can span a multi-line diagnostic
+// message. Every reported diagnostic must match a want on its line and
+// every want must be matched by a diagnostic — unmatched either way fails
+// the test.
 // Suppression via //sprwl:allow is applied before matching, so a fixture
 // line carrying both a violation and an allow directive passes exactly when
 // the shared suppression machinery works.
@@ -67,7 +75,7 @@ func Run(t *testing.T, testdata string, a *driver.Analyzer, pkgPaths ...string) 
 	wants := collectWants(t, prog, pkgs)
 	for _, d := range res.Diagnostics {
 		pos := prog.Fset.Position(d.Pos)
-		if !wants.match(pos.Filename, pos.Line, d.Message) {
+		if !wants.match(pos.Filename, pos.Line, pos.Column, d.Message) {
 			t.Errorf("%s: unexpected diagnostic: %s", shortPos(pos), d.Message)
 		}
 	}
@@ -78,16 +86,21 @@ func Run(t *testing.T, testdata string, a *driver.Analyzer, pkgPaths ...string) 
 
 type want struct {
 	where string
-	re    *regexp.Regexp
-	hit   bool
+	// col pins the diagnostic's column; 0 accepts any column.
+	col int
+	re  *regexp.Regexp
+	hit bool
 }
 
 // wantSet indexes expectations by filename and line.
 type wantSet map[string]map[int][]*want
 
-func (ws wantSet) match(file string, line int, msg string) bool {
+func (ws wantSet) match(file string, line, col int, msg string) bool {
 	for _, w := range ws[file][line] {
-		if !w.hit && w.re.MatchString(msg) {
+		if w.hit || (w.col != 0 && w.col != col) {
+			continue
+		}
+		if w.re.MatchString(msg) {
 			w.hit = true
 			return true
 		}
@@ -131,10 +144,11 @@ func collectWants(t *testing.T, prog *driver.Program, pkgs []*driver.Package) wa
 						lines = make(map[int][]*want)
 						ws[pos.Filename] = lines
 					}
-					for _, re := range res {
+					for _, spec := range res {
 						lines[pos.Line] = append(lines[pos.Line], &want{
 							where: shortPos(pos),
-							re:    re,
+							col:   spec.col,
+							re:    spec.re,
 						})
 					}
 				}
@@ -144,12 +158,37 @@ func collectWants(t *testing.T, prog *driver.Program, pkgs []*driver.Package) wa
 	return ws
 }
 
-// parseWants extracts the sequence of quoted regular expressions after
-// "// want".
-func parseWants(text string) ([]*regexp.Regexp, error) {
-	var res []*regexp.Regexp
+// wantSpec is one parsed expectation: an optional column pin and the
+// message pattern.
+type wantSpec struct {
+	col int
+	re  *regexp.Regexp
+}
+
+// parseWants extracts the sequence of (optionally column-prefixed) quoted
+// regular expressions after "// want". Patterns are compiled in single-line
+// mode ((?s)) so "." crosses newlines and one expectation can cover a
+// multi-line diagnostic message.
+func parseWants(text string) ([]wantSpec, error) {
+	var res []wantSpec
 	rest := strings.TrimSpace(text)
 	for rest != "" {
+		col := 0
+		// A column pin is a run of digits immediately followed by a colon;
+		// anything else (including colons inside the quoted pattern) is
+		// left for the pattern parser.
+		j := 0
+		for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+			j++
+		}
+		if j > 0 && j < len(rest) && rest[j] == ':' {
+			n, err := strconv.Atoi(rest[:j])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad column prefix %q (want <column>:\"regexp\")", rest[:j])
+			}
+			col = n
+			rest = rest[j+1:]
+		}
 		q, err := strconv.QuotedPrefix(rest)
 		if err != nil {
 			return nil, fmt.Errorf("expected quoted regexp at %q", rest)
@@ -158,11 +197,11 @@ func parseWants(text string) ([]*regexp.Regexp, error) {
 		if err != nil {
 			return nil, err
 		}
-		re, err := regexp.Compile(pat)
+		re, err := regexp.Compile("(?s)" + pat)
 		if err != nil {
 			return nil, err
 		}
-		res = append(res, re)
+		res = append(res, wantSpec{col: col, re: re})
 		rest = strings.TrimSpace(rest[len(q):])
 	}
 	if len(res) == 0 {

@@ -1,0 +1,49 @@
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestParseWants(t *testing.T) {
+	specs, err := parseWants(`"first" 12:"second col-pinned" "dot .* spans"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs, want 3", len(specs))
+	}
+	if specs[0].col != 0 || specs[1].col != 12 || specs[2].col != 0 {
+		t.Fatalf("columns = %d,%d,%d, want 0,12,0", specs[0].col, specs[1].col, specs[2].col)
+	}
+	// (?s) mode: "." crosses newlines, so one want can span a multi-line
+	// diagnostic message.
+	if !specs[2].re.MatchString("dot before\nand after it spans") {
+		t.Error("pattern did not span a newline in the message")
+	}
+
+	for _, bad := range []string{`0:"zero column"`, `x:"not a number"`, `unquoted`, ``} {
+		if _, err := parseWants(bad); err == nil {
+			t.Errorf("parseWants(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestWantSetColumnMatch(t *testing.T) {
+	mk := func(col int, pat string) *want {
+		return &want{col: col, re: regexp.MustCompile(pat)}
+	}
+	ws := wantSet{"f.go": {10: []*want{mk(7, "shadowed"), mk(3, "shadowed")}}}
+	if ws.match("f.go", 10, 5, "shadowed x") {
+		t.Error("matched despite both column pins disagreeing")
+	}
+	if !ws.match("f.go", 10, 3, "shadowed x") {
+		t.Error("column 3 should match the second want")
+	}
+	if !ws.match("f.go", 10, 7, "shadowed y") {
+		t.Error("column 7 should match the first want")
+	}
+	if len(ws.unmatched()) != 0 {
+		t.Error("all wants should be consumed")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"go/token"
 	"go/types"
 
+	"sprwl/internal/analysis/astq"
 	"sprwl/internal/analysis/driver"
 )
 
@@ -45,7 +46,7 @@ func run(pass *driver.Pass) error {
 			if !ok {
 				return true
 			}
-			fn := calleeFunc(info, call)
+			fn := astq.CalleeFunc(info, call)
 			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
 				return true
 			}
@@ -118,37 +119,13 @@ func trackedVar(info *types.Info, x ast.Expr) *types.Var {
 			return sel.Obj().(*types.Var)
 		}
 		// Qualified identifier (pkg.V): falls through to the Sel ident.
-		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && isPackageLevel(v) {
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && astq.IsPackageLevel(v) {
 			return v
 		}
 	case *ast.Ident:
-		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && isPackageLevel(v) {
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && astq.IsPackageLevel(v) {
 			return v
 		}
-	}
-	return nil
-}
-
-func isPackageLevel(v *types.Var) bool {
-	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
-}
-
-// calleeFunc resolves a call's static callee, or nil for dynamic calls
-// (func values, interface methods) and builtins.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		if sel := info.Selections[fun]; sel != nil {
-			if sel.Kind() == types.MethodVal && !types.IsInterface(sel.Recv()) {
-				return sel.Obj().(*types.Func)
-			}
-			return nil
-		}
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
 	}
 	return nil
 }

@@ -12,15 +12,20 @@
 //     write to a variable that is also read inside the body): each retry
 //     compounds the update;
 //   - writes through captured pointers, captured struct fields, and into
-//     captured maps: visible before commit and replayed on retry (writing a
-//     result into a captured scalar or a captured slice element is the
-//     sanctioned extraction idiom — same slot, same value on every run —
-//     and is not reported);
+//     captured maps — whether named directly or through a local alias of
+//     the captured storage (p := out; p.n = v), which the may-alias
+//     lattice resolves: visible before commit and replayed on retry
+//     (writing a result into a captured scalar or a captured slice element
+//     is the sanctioned extraction idiom — same slot, same value on every
+//     run — and is not reported);
 //   - calls to methods on captured receivers or to captured func values
 //     that do not take the accessor (rng.Uint64N, a captured now()): these
 //     advance hidden state or observe the outside world, so each retry sees
 //     a different value and the committed execution may disagree with the
-//     decisions made by aborted ones;
+//     decisions made by aborted ones. One report is issued per captured
+//     object per body — every further call on the same object is the same
+//     decision about the same state, so the first site stands for all of
+//     them (and one suppression covers the object, not each call);
 //   - calls into fmt, os, log, io, time, math/rand, net and sync, plus
 //     print/println, go statements, channel sends and close: side effects
 //     the abort path cannot undo.
@@ -34,8 +39,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
+	"sprwl/internal/analysis/astq"
+	"sprwl/internal/analysis/dataflow"
 	"sprwl/internal/analysis/driver"
 )
 
@@ -60,6 +66,10 @@ var sideEffectPkgs = map[string]bool{
 	"sync":         true,
 }
 
+func isBodyType(t types.Type) bool {
+	return astq.IsNamed(t, "internal/rwlock", "Body")
+}
+
 func run(pass *driver.Pass) error {
 	info := pass.Pkg.Info
 	checked := make(map[*ast.FuncLit]bool)
@@ -77,7 +87,7 @@ func run(pass *driver.Pass) error {
 				if ok && tv.IsType() {
 					// Conversion rwlock.Body(func(...){...}).
 					if isBodyType(tv.Type) && len(n.Args) == 1 {
-						check(funcLit(n.Args[0]))
+						check(astq.FuncLit(n.Args[0]))
 					}
 					return true
 				}
@@ -91,22 +101,22 @@ func run(pass *driver.Pass) error {
 					return true
 				}
 				for i, arg := range n.Args {
-					if lit := funcLit(arg); lit != nil && isBodyType(paramType(sig, i, n.Ellipsis != token.NoPos)) {
+					if lit := astq.FuncLit(arg); lit != nil && isBodyType(astq.ParamType(sig, i, n.Ellipsis != token.NoPos)) {
 						check(lit)
 					}
 				}
 			case *ast.AssignStmt:
 				for i, rhs := range n.Rhs {
 					if i < len(n.Lhs) {
-						if lit := funcLit(rhs); lit != nil && isBodyType(typeOf(info, n.Lhs[i])) {
+						if lit := astq.FuncLit(rhs); lit != nil && isBodyType(astq.TypeOf(info, n.Lhs[i])) {
 							check(lit)
 						}
 					}
 				}
 			case *ast.ValueSpec:
 				for _, v := range n.Values {
-					if lit := funcLit(v); lit != nil {
-						if n.Type != nil && isBodyType(typeOf(info, n.Type)) {
+					if lit := astq.FuncLit(v); lit != nil {
+						if n.Type != nil && isBodyType(astq.TypeOf(info, n.Type)) {
 							check(lit)
 						}
 					}
@@ -115,7 +125,7 @@ func run(pass *driver.Pass) error {
 				// A factory returning a Body: resolve via the literal's own
 				// assigned type when the checker converted it.
 				for _, r := range n.Results {
-					if lit := funcLit(r); lit != nil && isBodyType(typeOf(info, r)) {
+					if lit := astq.FuncLit(r); lit != nil && isBodyType(astq.TypeOf(info, r)) {
 						check(lit)
 					}
 				}
@@ -126,102 +136,141 @@ func run(pass *driver.Pass) error {
 	return nil
 }
 
+// bodyCheck carries the per-literal state: the accessor object, the
+// may-alias lattice from local variables to the captured storage they can
+// reach, and the receivers already reported (one diagnostic per captured
+// object per body).
+type bodyCheck struct {
+	pass    *driver.Pass
+	info    *types.Info
+	lit     *ast.FuncLit
+	accObj  types.Object
+	aliases map[*types.Var]map[*types.Var]bool
+
+	writeSites   map[*types.Var]token.Pos
+	readVars     map[*types.Var]bool
+	writeLHS     map[*ast.Ident]bool
+	reportedRecv map[*types.Var]bool
+}
+
 // checkBody inspects one rwlock.Body literal for non-idempotent effects.
 func checkBody(pass *driver.Pass, lit *ast.FuncLit) {
-	info := pass.Pkg.Info
-
-	var accObj types.Object
+	c := &bodyCheck{
+		pass:         pass,
+		info:         pass.Pkg.Info,
+		lit:          lit,
+		aliases:      dataflow.CapturedAliases(pass.Pkg.Info, lit),
+		writeSites:   make(map[*types.Var]token.Pos),
+		readVars:     make(map[*types.Var]bool),
+		writeLHS:     make(map[*ast.Ident]bool),
+		reportedRecv: make(map[*types.Var]bool),
+	}
 	if p := lit.Type.Params; p != nil && len(p.List) > 0 && len(p.List[0].Names) > 0 {
-		accObj = info.Defs[p.List[0].Names[0]]
+		c.accObj = c.info.Defs[p.List[0].Names[0]]
 	}
-
-	captured := func(v *types.Var) bool {
-		if v == nil || v.IsField() {
-			return false
-		}
-		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
-			return true // package-level: shared by definition
-		}
-		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
-	}
-
-	// writeSites collects plain `=` writes to captured scalars; a write is
-	// only a violation if the same variable is also read in the body
-	// (extraction writes are write-only).
-	writeSites := make(map[*types.Var]token.Pos)
-	readVars := make(map[*types.Var]bool)
-	writeLHS := make(map[*ast.Ident]bool)
 
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
 			for _, lhs := range n.Lhs {
-				checkWrite(pass, info, captured, lhs, compound, n.Tok, writeSites, writeLHS)
+				c.checkWrite(lhs, compound, n.Tok)
 			}
 		case *ast.IncDecStmt:
-			if v := rootCaptured(info, captured, n.X); v != nil {
-				pass.Reportf(n.Pos(), "body is not idempotent: %s of captured %q compounds on every re-execution; compute it outside the critical section", n.Tok, v.Name())
+			if v, _ := c.capturedRoot(n.X); v != nil {
+				c.pass.Reportf(n.Pos(), "body is not idempotent: %s of captured %q compounds on every re-execution; compute it outside the critical section", n.Tok, v.Name())
 			}
 		case *ast.CallExpr:
-			checkCall(pass, info, captured, accObj, n)
+			c.checkCall(n)
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "body is not idempotent: go statement launches a goroutine on every re-execution")
+			c.pass.Reportf(n.Pos(), "body is not idempotent: go statement launches a goroutine on every re-execution")
 		case *ast.SendStmt:
-			pass.Reportf(n.Pos(), "body is not idempotent: channel send escapes the transaction and is replayed on abort")
+			c.pass.Reportf(n.Pos(), "body is not idempotent: channel send escapes the transaction and is replayed on abort")
 		case *ast.Ident:
-			if writeLHS[n] {
+			if c.writeLHS[n] {
 				return true
 			}
-			if v, ok := info.Uses[n].(*types.Var); ok && captured(v) {
-				readVars[v] = true
+			if v, ok := c.info.Uses[n].(*types.Var); ok && astq.CapturedBy(v, c.lit) {
+				c.readVars[v] = true
 			}
 		}
 		return true
 	})
 
-	for v, pos := range writeSites {
-		if readVars[v] {
-			pass.Reportf(pos, "body is not idempotent: captured %q is both read and written in the body, so re-execution compounds the update; use the Accessor for shared state or hoist the computation", v.Name())
+	for v, pos := range c.writeSites {
+		if c.readVars[v] {
+			c.pass.Reportf(pos, "body is not idempotent: captured %q is both read and written in the body, so re-execution compounds the update; use the Accessor for shared state or hoist the computation", v.Name())
 		}
 	}
 }
 
-// checkWrite classifies one assignment target inside a body.
-func checkWrite(pass *driver.Pass, info *types.Info, captured func(*types.Var) bool,
-	lhs ast.Expr, compound bool, tok token.Token,
-	writeSites map[*types.Var]token.Pos, writeLHS map[*ast.Ident]bool) {
+// capturedRoot resolves the captured storage an access path can reach: the
+// root variable itself when it is captured, or — through the alias lattice
+// — a captured variable a local root may alias (p := out; p.n = v). The
+// second result names the aliasing local, nil for direct captures.
+func (c *bodyCheck) capturedRoot(e ast.Expr) (captured, via *types.Var) {
+	root := astq.RootVar(c.info, e)
+	if root == nil {
+		return nil, nil
+	}
+	if astq.CapturedBy(root, c.lit) {
+		return root, nil
+	}
+	for cand := range c.aliases[root] {
+		if captured == nil || cand.Name() < captured.Name() {
+			captured = cand
+		}
+	}
+	if captured != nil {
+		return captured, root
+	}
+	return nil, nil
+}
 
+// checkWrite classifies one assignment target inside a body.
+func (c *bodyCheck) checkWrite(lhs ast.Expr, compound bool, tok token.Token) {
 	switch e := ast.Unparen(lhs).(type) {
 	case *ast.Ident:
-		v, ok := info.Uses[e].(*types.Var)
-		if !ok || !captured(v) {
+		v, ok := c.info.Uses[e].(*types.Var)
+		if !ok || !astq.CapturedBy(v, c.lit) {
 			return
 		}
-		writeLHS[e] = true
+		c.writeLHS[e] = true
 		if compound {
-			pass.Reportf(lhs.Pos(), "body is not idempotent: %s on captured %q compounds on every re-execution; use the Accessor for shared state or hoist the computation", tok, v.Name())
+			c.pass.Reportf(lhs.Pos(), "body is not idempotent: %s on captured %q compounds on every re-execution; use the Accessor for shared state or hoist the computation", tok, v.Name())
 			return
 		}
-		if _, ok := writeSites[v]; !ok {
-			writeSites[v] = lhs.Pos()
+		if _, ok := c.writeSites[v]; !ok {
+			c.writeSites[v] = lhs.Pos()
 		}
 	case *ast.SelectorExpr:
-		if v := rootCaptured(info, captured, e); v != nil {
-			pass.Reportf(lhs.Pos(), "body is not idempotent: write through captured %q escapes the transaction and is replayed on abort; route it through the Accessor or extract after the section", v.Name())
+		if v, via := c.capturedRoot(e); v != nil {
+			if via != nil {
+				c.pass.Reportf(lhs.Pos(), "body is not idempotent: write through %q, which aliases captured %q, escapes the transaction and is replayed on abort; route it through the Accessor or extract after the section", via.Name(), v.Name())
+				return
+			}
+			c.pass.Reportf(lhs.Pos(), "body is not idempotent: write through captured %q escapes the transaction and is replayed on abort; route it through the Accessor or extract after the section", v.Name())
 		}
 	case *ast.StarExpr:
-		if v := rootCaptured(info, captured, e.X); v != nil {
-			pass.Reportf(lhs.Pos(), "body is not idempotent: write through captured pointer %q escapes the transaction and is replayed on abort", v.Name())
+		if v, via := c.capturedRoot(e.X); v != nil {
+			if via != nil {
+				c.pass.Reportf(lhs.Pos(), "body is not idempotent: write through %q, which aliases captured pointer %q, escapes the transaction and is replayed on abort", via.Name(), v.Name())
+				return
+			}
+			c.pass.Reportf(lhs.Pos(), "body is not idempotent: write through captured pointer %q escapes the transaction and is replayed on abort", v.Name())
 		}
 	case *ast.IndexExpr:
 		// Captured-map inserts allocate buckets and are visible before
 		// commit; captured-slice element writes are the extraction idiom
 		// (same slot, same value every run) and pass.
-		if t := typeOf(info, e.X); t != nil {
+		if t := astq.TypeOf(c.info, e.X); t != nil {
 			if _, isMap := t.Underlying().(*types.Map); isMap {
-				if v := rootCaptured(info, captured, e.X); v != nil {
-					pass.Reportf(lhs.Pos(), "body is not idempotent: write into captured map %q escapes the transaction and is replayed on abort", v.Name())
+				if v, via := c.capturedRoot(e.X); v != nil {
+					if via != nil {
+						c.pass.Reportf(lhs.Pos(), "body is not idempotent: write into %q, which aliases captured map %q, escapes the transaction and is replayed on abort", via.Name(), v.Name())
+						return
+					}
+					c.pass.Reportf(lhs.Pos(), "body is not idempotent: write into captured map %q escapes the transaction and is replayed on abort", v.Name())
 				}
 			}
 		}
@@ -231,23 +280,21 @@ func checkWrite(pass *driver.Pass, info *types.Info, captured func(*types.Var) b
 // checkCall flags calls whose effects escape the transaction: denylisted
 // packages, builtins with side effects, and calls on captured state that do
 // not go through the accessor.
-func checkCall(pass *driver.Pass, info *types.Info, captured func(*types.Var) bool,
-	accObj types.Object, call *ast.CallExpr) {
-
+func (c *bodyCheck) checkCall(call *ast.CallExpr) {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := info.Uses[id].(*types.Builtin); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "print", "println":
-				pass.Reportf(call.Pos(), "body is not idempotent: %s output is replayed on every re-execution", b.Name())
+				c.pass.Reportf(call.Pos(), "body is not idempotent: %s output is replayed on every re-execution", b.Name())
 			case "close":
-				pass.Reportf(call.Pos(), "body is not idempotent: close escapes the transaction (and panics when replayed)")
+				c.pass.Reportf(call.Pos(), "body is not idempotent: close escapes the transaction (and panics when replayed)")
 			}
 			return
 		}
 	}
 
-	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && sideEffectPkgs[fn.Pkg().Path()] {
-		pass.Reportf(call.Pos(), "body is not idempotent: call to %s.%s is a non-Accessor side effect or non-deterministic input; compute it before the critical section", fn.Pkg().Name(), fn.Name())
+	if fn := astq.CalleeFunc(c.info, call); fn != nil && fn.Pkg() != nil && sideEffectPkgs[fn.Pkg().Path()] {
+		c.pass.Reportf(call.Pos(), "body is not idempotent: call to %s.%s is a non-Accessor side effect or non-deterministic input; compute it before the critical section", fn.Pkg().Name(), fn.Name())
 		return
 	}
 
@@ -256,125 +303,45 @@ func checkCall(pass *driver.Pass, info *types.Info, captured func(*types.Var) bo
 	// callee participates in the transaction (the data-structure helper
 	// idiom); otherwise it may read or advance hidden state on every retry
 	// — whether the callee resolves statically or not, since even a
-	// module-local method can mutate its receiver.
-	if mentionsObj(info, call, accObj) {
+	// module-local method can mutate its receiver. Each captured object is
+	// reported at its first offending call only.
+	if c.mentionsAccessor(call) {
 		return
 	}
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
-		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
-			if v := rootCaptured(info, captured, fun.X); v != nil {
-				pass.Reportf(call.Pos(), "body is not idempotent: method call on captured %q without the accessor may observe or advance hidden state on every re-execution", v.Name())
+		if sel := c.info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			if v, via := c.capturedRoot(fun.X); v != nil && !c.reportedRecv[v] {
+				c.reportedRecv[v] = true
+				if via != nil {
+					c.pass.Reportf(call.Pos(), "body is not idempotent: method call on %q, which aliases captured %q, without the accessor may observe or advance hidden state on every re-execution (first such call; one report per captured object)", via.Name(), v.Name())
+					return
+				}
+				c.pass.Reportf(call.Pos(), "body is not idempotent: method call on captured %q without the accessor may observe or advance hidden state on every re-execution (first such call; one report per captured object)", v.Name())
 			}
 		}
 	case *ast.Ident:
-		if v, ok := info.Uses[fun].(*types.Var); ok && captured(v) {
-			pass.Reportf(call.Pos(), "body is not idempotent: call to captured func value %q without the accessor may observe or advance hidden state on every re-execution", v.Name())
+		if v, ok := c.info.Uses[fun].(*types.Var); ok && astq.CapturedBy(v, c.lit) && !c.reportedRecv[v] {
+			c.reportedRecv[v] = true
+			c.pass.Reportf(call.Pos(), "body is not idempotent: call to captured func value %q without the accessor may observe or advance hidden state on every re-execution (first such call; one report per captured object)", v.Name())
 		}
 	}
 }
 
-// mentionsObj reports whether any call argument references obj (the
-// accessor parameter).
-func mentionsObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
-	if obj == nil {
+// mentionsAccessor reports whether any call argument references the
+// accessor parameter.
+func (c *bodyCheck) mentionsAccessor(call *ast.CallExpr) bool {
+	if c.accObj == nil {
 		return false
 	}
 	found := false
 	for _, arg := range call.Args {
 		ast.Inspect(arg, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			if id, ok := n.(*ast.Ident); ok && c.info.Uses[id] == c.accObj {
 				found = true
 			}
 			return !found
 		})
 	}
 	return found
-}
-
-// rootCaptured unwinds selector/index/star/paren chains and reports the
-// captured variable at the root, if any.
-func rootCaptured(info *types.Info, captured func(*types.Var) bool, e ast.Expr) *types.Var {
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.Ident:
-			if v, ok := info.Uses[x].(*types.Var); ok && captured(v) {
-				return v
-			}
-			return nil
-		default:
-			return nil
-		}
-	}
-}
-
-// isBodyType reports whether t is the rwlock critical-section body type.
-func isBodyType(t types.Type) bool {
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "Body" && obj.Pkg() != nil &&
-		strings.HasSuffix(obj.Pkg().Path(), "internal/rwlock")
-}
-
-func funcLit(e ast.Expr) *ast.FuncLit {
-	lit, _ := ast.Unparen(e).(*ast.FuncLit)
-	return lit
-}
-
-func typeOf(info *types.Info, e ast.Expr) types.Type {
-	if tv, ok := info.Types[e]; ok {
-		return tv.Type
-	}
-	return nil
-}
-
-func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
-	params := sig.Params()
-	n := params.Len()
-	if n == 0 {
-		return nil
-	}
-	if sig.Variadic() && i >= n-1 {
-		if ellipsis {
-			return params.At(n - 1).Type()
-		}
-		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
-			return s.Elem()
-		}
-		return nil
-	}
-	if i < n {
-		return params.At(i).Type()
-	}
-	return nil
-}
-
-// calleeFunc resolves a call's static callee, or nil for dynamic calls.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		if sel := info.Selections[fun]; sel != nil {
-			if sel.Kind() == types.MethodVal && !types.IsInterface(sel.Recv()) {
-				return sel.Obj().(*types.Func)
-			}
-			return nil
-		}
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
 }

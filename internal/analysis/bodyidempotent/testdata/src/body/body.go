@@ -54,6 +54,9 @@ func Demo(h section, addr memmodel.Addr, src *source, out *result, m map[uint64]
 
 	h.Read(4, func(acc memmodel.Accessor) {
 		extracted = src.next() // want `method call on captured "src"`
+		_ = src.next()
+		// The second call on src is the same decision about the same hidden
+		// state: one report per captured object per body.
 	})
 
 	h.Read(5, func(acc memmodel.Accessor) {
@@ -80,6 +83,13 @@ func Demo(h section, addr memmodel.Addr, src *source, out *result, m map[uint64]
 	h.Read(9, func(acc memmodel.Accessor) {
 		//sprwl:allow(bodyidempotent) fixture: deliberate probe side effect
 		count++
+	})
+
+	// Laundering the captured pointer through a local does not hide the
+	// escape: the alias lattice resolves p back to out.
+	h.Write(10, func(acc memmodel.Accessor) {
+		p := out
+		p.n = acc.Load(addr) // want `aliases captured "out"`
 	})
 
 	_, _ = extracted, count

@@ -1,0 +1,632 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses a function body and constructs its CFG. The source is the
+// body's statement list, without braces.
+func build(t *testing.T, body string, opts Options) (*token.FileSet, *Graph) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return fset, New(fn.Body, opts)
+}
+
+// render gives a compact, deterministic description of the graph for exact
+// structural comparisons: one line per non-empty block.
+func render(fset *token.FileSet, g *Graph) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 0 && b != g.Entry && b != g.Exit {
+			// Skip empty join blocks; their edges still show through succs
+			// of rendered blocks only if they lead somewhere, so include
+			// them when they have both preds and succs.
+			if len(b.Preds) == 0 || len(b.Succs) == 0 {
+				continue
+			}
+		}
+		fmt.Fprintf(&sb, "b%d", b.Index)
+		switch b {
+		case g.Entry:
+			sb.WriteString("(entry)")
+		case g.Exit:
+			sb.WriteString("(exit)")
+		}
+		if b.Deferred {
+			sb.WriteString("(deferred)")
+		}
+		sb.WriteString(":")
+		for _, n := range b.Nodes {
+			sb.WriteString(" [" + nodeStr(fset, n) + "]")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeStr(fset *token.FileSet, n ast.Node) string {
+	switch x := n.(type) {
+	case *ast.RangeStmt:
+		return "range " + nodeStr(fset, x.X)
+	case *ast.DeferStmt:
+		return "defer " + nodeStr(fset, x.Call)
+	}
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// blockOf returns the unique block whose rendered nodes contain want.
+func blockOf(t *testing.T, fset *token.FileSet, g *Graph, want string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if strings.Contains(nodeStr(fset, n), want) {
+				if found != nil && found != b {
+					t.Fatalf("%q appears in b%d and b%d", want, found.Index, b.Index)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains %q in:\n%s", want, render(fset, g))
+	}
+	return found
+}
+
+// canAvoid reports whether some Entry→Exit path avoids block x.
+func canAvoid(g *Graph, x *Block) bool {
+	seen := make(map[*Block]bool)
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == x || seen[b] {
+			return false
+		}
+		if b == g.Exit {
+			return true
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(g.Entry)
+}
+
+// reaches reports whether a path from→to exists.
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestIfElse(t *testing.T) {
+	fset, g := build(t, `
+	x := 1
+	if x > 0 {
+		a()
+	} else {
+		b()
+	}
+	c()
+	`, Options{})
+	cond := blockOf(t, fset, g, "x > 0")
+	then := blockOf(t, fset, g, "a()")
+	els := blockOf(t, fset, g, "b()")
+	after := blockOf(t, fset, g, "c()")
+	if len(cond.Succs) != 2 {
+		t.Fatalf("cond succs = %d, want 2\n%s", len(cond.Succs), render(fset, g))
+	}
+	if !reaches(cond, then) || !reaches(cond, els) {
+		t.Fatalf("cond does not branch to both arms\n%s", render(fset, g))
+	}
+	if !canAvoid(g, then) || !canAvoid(g, els) {
+		t.Fatalf("branch arms should each be avoidable\n%s", render(fset, g))
+	}
+	if canAvoid(g, after) {
+		t.Fatalf("join code should be on all paths\n%s", render(fset, g))
+	}
+}
+
+func TestShortCircuitDecomposition(t *testing.T) {
+	fset, g := build(t, `
+	if a() && (b() || !c()) {
+		d()
+	}
+	e()
+	`, Options{})
+	ba := blockOf(t, fset, g, "a()")
+	bb := blockOf(t, fset, g, "b()")
+	bc := blockOf(t, fset, g, "c()")
+	bd := blockOf(t, fset, g, "d()")
+	// a short-circuits past b and c entirely.
+	if !canAvoid(g, bb) || !canAvoid(g, bc) {
+		t.Fatalf("short-circuit operands must be avoidable\n%s", render(fset, g))
+	}
+	// b true skips c but can still reach d.
+	if !reaches(bb, bd) || !reaches(bc, bd) {
+		t.Fatalf("both operands should reach the then-arm\n%s", render(fset, g))
+	}
+	// each operand sits alone in its block.
+	for _, b := range []*Block{ba, bb, bc} {
+		if len(b.Nodes) != 1 {
+			t.Fatalf("operand block b%d has %d nodes, want 1\n%s", b.Index, len(b.Nodes), render(fset, g))
+		}
+	}
+	// c's block is only entered when b was false: its sole pred is b's block.
+	if len(bc.Preds) != 1 || bc.Preds[0] != bb {
+		t.Fatalf("c's preds = %v, want [b%d]\n%s", bc.Preds, bb.Index, render(fset, g))
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	fset, g := build(t, `
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()
+	`, Options{})
+	head := blockOf(t, fset, g, "i < n")
+	body := blockOf(t, fset, g, "body()")
+	post := blockOf(t, fset, g, "i++")
+	after := blockOf(t, fset, g, "after()")
+	if !reaches(body, post) || !reaches(post, head) {
+		t.Fatalf("missing back edge body→post→head\n%s", render(fset, g))
+	}
+	if !canAvoid(g, body) {
+		t.Fatalf("zero-iteration path missing\n%s", render(fset, g))
+	}
+	if canAvoid(g, after) || canAvoid(g, head) {
+		t.Fatalf("head and after are on all paths\n%s", render(fset, g))
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	fset, g := build(t, `
+	for {
+		if done() {
+			break
+		}
+		step()
+	}
+	after()
+	`, Options{})
+	after := blockOf(t, fset, g, "after()")
+	done := blockOf(t, fset, g, "done()")
+	if !reaches(done, after) {
+		t.Fatalf("break does not reach after\n%s", render(fset, g))
+	}
+	step := blockOf(t, fset, g, "step()")
+	if !reaches(step, done) {
+		t.Fatalf("loop back edge missing\n%s", render(fset, g))
+	}
+	if canAvoid(g, done) {
+		t.Fatalf("the only exit is through done()\n%s", render(fset, g))
+	}
+}
+
+func TestRangeZeroIterations(t *testing.T) {
+	fset, g := build(t, `
+	for _, v := range xs {
+		use(v)
+	}
+	after()
+	`, Options{})
+	head := blockOf(t, fset, g, "range xs")
+	body := blockOf(t, fset, g, "use(v)")
+	if !canAvoid(g, body) {
+		t.Fatalf("range body must be avoidable (zero iterations)\n%s", render(fset, g))
+	}
+	if !reaches(body, head) {
+		t.Fatalf("range back edge missing\n%s", render(fset, g))
+	}
+}
+
+func TestSwitchNoDefaultAndFallthrough(t *testing.T) {
+	fset, g := build(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	}
+	after()
+	`, Options{})
+	ba := blockOf(t, fset, g, "a()")
+	bb := blockOf(t, fset, g, "b()")
+	after := blockOf(t, fset, g, "after()")
+	// fallthrough: a's block edges into b's block.
+	if !contains(ba.Succs, bb) {
+		t.Fatalf("fallthrough edge a→b missing\n%s", render(fset, g))
+	}
+	// no default: both arms avoidable.
+	if !canAvoid(g, ba) || !canAvoid(g, bb) {
+		t.Fatalf("case bodies must be avoidable without default\n%s", render(fset, g))
+	}
+	if canAvoid(g, after) {
+		t.Fatalf("after is on all paths\n%s", render(fset, g))
+	}
+}
+
+func TestSwitchWithDefaultCoversAllPaths(t *testing.T) {
+	fset, g := build(t, `
+	switch x {
+	case 1:
+		mark()
+	default:
+		mark()
+	}
+	after()
+	`, Options{})
+	head := blockOf(t, fset, g, "1") // the case expression lives in the head
+	// With a default clause, the head must not edge straight past the arms:
+	// every successor holds one of the arms' statements.
+	for _, s := range head.Succs {
+		if len(s.Nodes) == 0 {
+			t.Fatalf("head has a fall-past edge despite default\n%s", render(fset, g))
+		}
+	}
+}
+
+func TestReturnAndUnreachable(t *testing.T) {
+	fset, g := build(t, `
+	if c() {
+		return
+	}
+	live()
+	return
+	dead()
+	`, Options{})
+	dead := blockOf(t, fset, g, "dead()")
+	if len(dead.Preds) != 0 {
+		t.Fatalf("dead code should have no preds\n%s", render(fset, g))
+	}
+	ret := blockOf(t, fset, g, "live()")
+	if !contains(ret.Succs, g.Exit) {
+		t.Fatalf("return must edge to exit\n%s", render(fset, g))
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	fset, g := build(t, `
+	if bad() {
+		panic("x")
+	}
+	ok()
+	`, Options{})
+	p := blockOf(t, fset, g, `panic("x")`)
+	if !contains(p.Succs, g.Exit) || len(p.Succs) != 1 {
+		t.Fatalf("panic block must edge only to exit\n%s", render(fset, g))
+	}
+	okb := blockOf(t, fset, g, "ok()")
+	if reaches(p, okb) {
+		t.Fatalf("panic must not fall through\n%s", render(fset, g))
+	}
+}
+
+func TestNoReturnOption(t *testing.T) {
+	abortCalls := func(call *ast.CallExpr) bool {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Abort"
+		}
+		return false
+	}
+	fset, g := build(t, `
+	if bad() {
+		tx.Abort(1)
+	}
+	ok()
+	`, Options{NoReturn: abortCalls})
+	ab := blockOf(t, fset, g, "tx.Abort(1)")
+	okb := blockOf(t, fset, g, "ok()")
+	if reaches(ab, okb) {
+		t.Fatalf("NoReturn call must not fall through\n%s", render(fset, g))
+	}
+	if !contains(ab.Succs, g.Exit) {
+		t.Fatalf("NoReturn call must edge to exit\n%s", render(fset, g))
+	}
+}
+
+func TestDeferRouting(t *testing.T) {
+	fset, g := build(t, `
+	defer first()
+	if c() {
+		return
+	}
+	defer second()
+	work()
+	`, Options{})
+	var dblk *Block
+	for _, b := range g.Blocks {
+		if b.Deferred {
+			dblk = b
+		}
+	}
+	if dblk == nil {
+		t.Fatalf("no deferred block\n%s", render(fset, g))
+	}
+	// Reverse registration order: second before first.
+	if len(dblk.Nodes) != 2 ||
+		!strings.Contains(nodeStr(fset, dblk.Nodes[0]), "second") ||
+		!strings.Contains(nodeStr(fset, dblk.Nodes[1]), "first") {
+		t.Fatalf("deferred block order wrong: %s", render(fset, g))
+	}
+	// Every path to Exit goes through the deferred block.
+	if canAvoid(g, dblk) {
+		t.Fatalf("exit path avoids the deferred block\n%s", render(fset, g))
+	}
+	if !contains(dblk.Succs, g.Exit) {
+		t.Fatalf("deferred block must edge to exit\n%s", render(fset, g))
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	fset, g := build(t, `
+	i := 0
+retry:
+	i++
+	if fail() {
+		goto retry
+	}
+	done()
+	`, Options{})
+	inc := blockOf(t, fset, g, "i++")
+	fail := blockOf(t, fset, g, "fail()")
+	if !reaches(fail, inc) {
+		t.Fatalf("goto back edge missing\n%s", render(fset, g))
+	}
+	if canAvoid(g, blockOf(t, fset, g, "done()")) {
+		t.Fatalf("done is on all paths\n%s", render(fset, g))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	fset, g := build(t, `
+	select {
+	case v := <-ch:
+		use(v)
+	case out <- 1:
+		sent()
+	}
+	after()
+	`, Options{})
+	use := blockOf(t, fset, g, "use(v)")
+	sent := blockOf(t, fset, g, "sent()")
+	if !canAvoid(g, use) || !canAvoid(g, sent) {
+		t.Fatalf("select arms must each be avoidable\n%s", render(fset, g))
+	}
+	if canAvoid(g, blockOf(t, fset, g, "after()")) {
+		t.Fatalf("after is on all paths\n%s", render(fset, g))
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	fset, g := build(t, `
+	before()
+	select {}
+	never()
+	`, Options{})
+	before := blockOf(t, fset, g, "before()")
+	if reaches(before, g.Exit) {
+		t.Fatalf("empty select must cut all paths to exit\n%s", render(fset, g))
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	fset, g := build(t, `
+outer:
+	for {
+		for {
+			if a() {
+				continue outer
+			}
+			if b() {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()
+	`, Options{})
+	ba := blockOf(t, fset, g, "a()")
+	bb := blockOf(t, fset, g, "b()")
+	after := blockOf(t, fset, g, "after()")
+	if !reaches(bb, after) {
+		t.Fatalf("break outer must reach after\n%s", render(fset, g))
+	}
+	// continue outer re-enters the outer loop and can come back to a().
+	if !reaches(ba, ba) {
+		t.Fatalf("continue outer must loop back\n%s", render(fset, g))
+	}
+	if canAvoid(g, bb) {
+		t.Fatalf("only exit is break outer via b()\n%s", render(fset, g))
+	}
+}
+
+func contains(bs []*Block, x *Block) bool {
+	for _, b := range bs {
+		if b == x {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Walk ---
+
+type visit struct {
+	str     string
+	guarded bool
+}
+
+func walkAll(fset *token.FileSet, g *Graph) []visit {
+	var vs []visit
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			Walk(n, b.Deferred, func(m ast.Node, guarded bool) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					vs = append(vs, visit{nodeStr(fset, call), guarded})
+				}
+				return true
+			})
+		}
+	}
+	return vs
+}
+
+func findVisit(t *testing.T, vs []visit, substr string) visit {
+	t.Helper()
+	for _, v := range vs {
+		if strings.Contains(v.str, substr) {
+			return v
+		}
+	}
+	t.Fatalf("no visit containing %q in %v", substr, vs)
+	return visit{}
+}
+
+func TestWalkShortCircuitGuard(t *testing.T) {
+	fset, g := build(t, `
+	x := a() && b()
+	y := c() || d()
+	use(x, y)
+	`, Options{})
+	vs := walkAll(fset, g)
+	if findVisit(t, vs, "a()").guarded || findVisit(t, vs, "c()").guarded {
+		t.Fatal("left operands are unconditional")
+	}
+	if !findVisit(t, vs, "b()").guarded || !findVisit(t, vs, "d()").guarded {
+		t.Fatal("right operands of &&/|| must be guarded")
+	}
+}
+
+func TestWalkFuncLitBoundaries(t *testing.T) {
+	fset, g := build(t, `
+	f := func() { hidden() }
+	func() { iife() }()
+	go func() { spawned() }()
+	use(f)
+	`, Options{})
+	vs := walkAll(fset, g)
+	for _, v := range vs {
+		if strings.Contains(v.str, "hidden") || strings.Contains(v.str, "spawned") {
+			t.Fatalf("walk descended into a non-invoked literal: %v", v)
+		}
+	}
+	var inner *visit
+	for i := range vs {
+		if vs[i].str == "iife()" {
+			inner = &vs[i]
+		}
+	}
+	if inner == nil {
+		t.Fatalf("IIFE body call not visited: %v", vs)
+	}
+	if !inner.guarded {
+		t.Fatal("IIFE body contents must be guarded (flow not lowered)")
+	}
+}
+
+func TestWalkDeferredBlockGuard(t *testing.T) {
+	fset, g := build(t, `
+	defer cleanup(arg())
+	work()
+	`, Options{})
+	vs := walkAll(fset, g)
+	// arg() is evaluated at the defer statement: unconditional.
+	if findVisit(t, vs, "arg()").guarded {
+		t.Fatal("defer arguments evaluate at the statement, unguarded")
+	}
+	// The cleanup call appears twice: at the defer statement (operand walk
+	// skips the call itself) and in the deferred block, where it is guarded.
+	var deferredCleanup *visit
+	for i := range vs {
+		if strings.HasPrefix(vs[i].str, "cleanup(") && vs[i].guarded {
+			deferredCleanup = &vs[i]
+		}
+	}
+	if deferredCleanup == nil {
+		t.Fatalf("deferred call must be visited guarded in the deferred block: %v", vs)
+	}
+	if findVisit(t, vs, "work()").guarded {
+		t.Fatal("straight-line call must be unguarded")
+	}
+}
+
+func TestWalkRangeVisitsOnlyHeader(t *testing.T) {
+	fset, g := build(t, `
+	for i := range seq() {
+		bodycall(i)
+	}
+	`, Options{})
+	head := blockOf(t, fset, g, "range seq")
+	var saw []string
+	for _, n := range head.Nodes {
+		Walk(n, false, func(m ast.Node, _ bool) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				saw = append(saw, nodeStr(fset, c))
+			}
+			return true
+		})
+	}
+	if len(saw) != 1 || saw[0] != "seq()" {
+		t.Fatalf("range header walk saw %v, want only seq()", saw)
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	fset, g := build(t, `
+	a()
+	if c {
+		b()
+	}
+	`, Options{})
+	out := render(fset, g)
+	for _, want := range []string{"(entry)", "(exit)", "[a()]", "[b()]", "[c]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

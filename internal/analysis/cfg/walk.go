@@ -1,0 +1,122 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Walk visits n and its sub-nodes in evaluation order, tracking whether
+// each visited node is only conditionally evaluated on the paths through
+// its block. It is the traversal every CFG-based analysis must use in
+// place of ast.Inspect, because it encodes the execution model the graph
+// assumes:
+//
+//   - Function literal bodies are NOT descended — a literal is a separate
+//     function — except for literals invoked at the point they appear
+//     (immediately-invoked expressions and the calls in the synthetic
+//     deferred block), whose bodies run on the enclosing function's paths.
+//     Statements inside such a body are visited with guarded=true, since
+//     their internal control flow is not lowered into blocks.
+//   - The right operand of && and || is visited with guarded=true: a
+//     short-circuit may skip it. (Branch conditions are decomposed by the
+//     builder, so this only applies to &&/|| in value positions.)
+//   - defer and go statements visit only their argument expressions
+//     (evaluated at the statement); the deferred call body is represented
+//     in the graph's deferred block, and a goroutine body is not part of
+//     this function's control flow at all.
+//   - A range statement node stands for the per-iteration step: only the
+//     range expression and the key/value targets are visited.
+//
+// Must-style analyses treat guarded nodes as not generating facts; may-
+// style analyses treat them as not killing facts. f returning false stops
+// descent below the visited node.
+func Walk(n ast.Node, guarded bool, f func(n ast.Node, guarded bool) bool) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *ast.FuncLit:
+		f(x, guarded)
+		return
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND || x.Op == token.LOR {
+			if !f(x, guarded) {
+				return
+			}
+			Walk(x.X, guarded, f)
+			Walk(x.Y, true, f)
+			return
+		}
+	case *ast.CallExpr:
+		if !f(x, guarded) {
+			return
+		}
+		if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+			// Invoked at the point it appears: the body executes here,
+			// but its internal branches are not lowered, so everything
+			// inside is conditional.
+			Walk(lit.Body, true, f)
+		} else {
+			Walk(x.Fun, guarded, f)
+		}
+		for _, a := range x.Args {
+			Walk(a, guarded, f)
+		}
+		return
+	case *ast.DeferStmt:
+		if !f(x, guarded) {
+			return
+		}
+		walkCallOperands(x.Call, guarded, f)
+		return
+	case *ast.GoStmt:
+		if !f(x, guarded) {
+			return
+		}
+		walkCallOperands(x.Call, guarded, f)
+		return
+	case *ast.RangeStmt:
+		if !f(x, guarded) {
+			return
+		}
+		Walk(x.X, guarded, f)
+		Walk(x.Key, guarded, f)
+		Walk(x.Value, guarded, f)
+		return
+	}
+	if !f(n, guarded) {
+		return
+	}
+	childGuard := guarded || hasInternalFlow(n)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil || m == n {
+			return m == n
+		}
+		Walk(m, childGuard, f)
+		return false
+	})
+}
+
+// walkCallOperands visits the operands a defer/go statement evaluates
+// eagerly: the arguments, and the function expression unless it is a
+// literal (whose body does not run here).
+func walkCallOperands(call *ast.CallExpr, guarded bool, f func(ast.Node, bool) bool) {
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); !ok {
+		Walk(call.Fun, guarded, f)
+	}
+	for _, a := range call.Args {
+		Walk(a, guarded, f)
+	}
+}
+
+// hasInternalFlow reports whether a node carries control flow the builder
+// did not lower (it only occurs inside invoked-literal bodies, which Walk
+// traverses flat).
+func hasInternalFlow(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.CaseClause, *ast.CommClause:
+		return true
+	}
+	return false
+}

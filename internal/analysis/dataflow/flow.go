@@ -1,0 +1,215 @@
+package dataflow
+
+import (
+	"go/ast"
+
+	"sprwl/internal/analysis/cfg"
+)
+
+// Mode selects the direction and meet of a Flow.
+type Mode int
+
+const (
+	// MustForward computes, at each point, the events that have occurred on
+	// EVERY path from entry (meet = intersection). A guarded event cannot
+	// establish a must-fact; a kill removes the fact even when guarded.
+	MustForward Mode = iota
+	// MayForward computes the events that have occurred on SOME path from
+	// entry (meet = union). A guarded event still generates; a guarded kill
+	// cannot remove the possibility.
+	MayForward
+	// MustBackward computes, at each point, the events that will occur on
+	// EVERY path from that point to exit.
+	MustBackward
+)
+
+// Events is the client's transfer function: the event bits a sub-node
+// generates and kills. It is invoked through cfg.Walk, so guarded reflects
+// short-circuit position, invoked-literal bodies, and the deferred block.
+type Events func(n ast.Node, guarded bool) (gen, kill []int)
+
+// Flow is one dataflow problem over a cfg.Graph.
+type Flow struct {
+	Graph  *cfg.Graph
+	N      int // event universe size
+	Mode   Mode
+	Events Events
+}
+
+// Facts holds the fixpoint solution. For forward modes In[b] is the fact at
+// block entry and Out[b] after its last node; for MustBackward In[b] is the
+// fact holding at block entry about the paths ahead (b's own nodes
+// included) and Out[b] the fact just after b's last node.
+type Facts struct {
+	In  map[*cfg.Block]Bits
+	Out map[*cfg.Block]Bits
+}
+
+// Solve runs round-robin iteration to fixpoint. Blocks unreachable from
+// entry (forward) or cut off from exit (backward) keep the vacuous top
+// element: an invariant holds trivially on zero paths.
+func (f *Flow) Solve() Facts {
+	facts := Facts{
+		In:  make(map[*cfg.Block]Bits, len(f.Graph.Blocks)),
+		Out: make(map[*cfg.Block]Bits, len(f.Graph.Blocks)),
+	}
+	top := func() Bits {
+		b := NewBits(f.N)
+		if f.Mode != MayForward {
+			b.Fill(f.N)
+		}
+		return b
+	}
+	for _, b := range f.Graph.Blocks {
+		facts.In[b] = top()
+		facts.Out[b] = top()
+	}
+	if f.Mode == MustBackward {
+		f.solveBackward(facts)
+	} else {
+		f.solveForward(facts)
+	}
+	return facts
+}
+
+func (f *Flow) solveForward(facts Facts) {
+	facts.In[f.Graph.Entry] = NewBits(f.N)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Graph.Blocks {
+			in := facts.In[b]
+			if b != f.Graph.Entry && len(b.Preds) > 0 {
+				meet := NewBits(f.N)
+				if f.Mode == MustForward {
+					meet.Fill(f.N)
+				}
+				for _, p := range b.Preds {
+					if f.Mode == MustForward {
+						meet.And(facts.Out[p])
+					} else {
+						meet.Or(facts.Out[p])
+					}
+				}
+				if !meet.Equal(in) {
+					facts.In[b] = meet
+					in = meet
+					changed = true
+				}
+			}
+			out := in.Clone()
+			f.transferForward(b, out)
+			if !out.Equal(facts.Out[b]) {
+				facts.Out[b] = out
+				changed = true
+			}
+		}
+	}
+}
+
+func (f *Flow) solveBackward(facts Facts) {
+	facts.Out[f.Graph.Exit] = NewBits(f.N)
+	facts.In[f.Graph.Exit] = NewBits(f.N)
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Graph.Blocks) - 1; i >= 0; i-- {
+			b := f.Graph.Blocks[i]
+			if b == f.Graph.Exit {
+				continue
+			}
+			out := facts.Out[b]
+			if len(b.Succs) > 0 {
+				meet := NewBits(f.N)
+				meet.Fill(f.N)
+				for _, s := range b.Succs {
+					meet.And(facts.In[s])
+				}
+				if !meet.Equal(out) {
+					facts.Out[b] = meet
+					out = meet
+					changed = true
+				}
+			}
+			in := out.Clone()
+			f.transferBackward(b, in)
+			if !in.Equal(facts.In[b]) {
+				facts.In[b] = in
+				changed = true
+			}
+		}
+	}
+}
+
+// apply folds one sub-node's events into fact under the mode's guarded
+// semantics. Kills apply before gens so a node that redefines an event
+// (kill-others, gen-self) nets out correctly.
+func (f *Flow) apply(fact Bits, n ast.Node, guarded bool) {
+	gen, kill := f.Events(n, guarded)
+	mustMode := f.Mode != MayForward
+	if mustMode || !guarded {
+		for _, k := range kill {
+			fact.Clear(k)
+		}
+	}
+	if !mustMode || !guarded {
+		for _, g := range gen {
+			fact.Set(g)
+		}
+	}
+}
+
+func (f *Flow) transferForward(b *cfg.Block, fact Bits) {
+	for _, n := range b.Nodes {
+		cfg.Walk(n, b.Deferred, func(m ast.Node, g bool) bool {
+			f.apply(fact, m, g)
+			return true
+		})
+	}
+}
+
+func (f *Flow) transferBackward(b *cfg.Block, fact Bits) {
+	nodes, guards := subNodes(b)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		f.apply(fact, nodes[i], guards[i])
+	}
+}
+
+// subNodes flattens a block's nodes through Walk into evaluation order.
+func subNodes(b *cfg.Block) ([]ast.Node, []bool) {
+	var nodes []ast.Node
+	var guards []bool
+	for _, n := range b.Nodes {
+		cfg.Walk(n, b.Deferred, func(m ast.Node, g bool) bool {
+			nodes = append(nodes, m)
+			guards = append(guards, g)
+			return true
+		})
+	}
+	return nodes, guards
+}
+
+// ReplayForward re-runs the forward transfer through b from the block-entry
+// fact in, calling visit with the fact holding immediately BEFORE each
+// sub-node. in is not modified.
+func (f *Flow) ReplayForward(b *cfg.Block, in Bits, visit func(n ast.Node, guarded bool, before Bits)) {
+	fact := in.Clone()
+	for _, n := range b.Nodes {
+		cfg.Walk(n, b.Deferred, func(m ast.Node, g bool) bool {
+			visit(m, g, fact)
+			f.apply(fact, m, g)
+			return true
+		})
+	}
+}
+
+// ReplayBackward re-runs the backward transfer through b from the
+// block-exit fact out, calling visit with the fact holding immediately
+// AFTER each sub-node (what the paths from that point on guarantee). out
+// is not modified.
+func (f *Flow) ReplayBackward(b *cfg.Block, out Bits, visit func(n ast.Node, guarded bool, after Bits)) {
+	nodes, guards := subNodes(b)
+	fact := out.Clone()
+	for i := len(nodes) - 1; i >= 0; i-- {
+		visit(nodes[i], guards[i], fact)
+		f.apply(fact, nodes[i], guards[i])
+	}
+}

@@ -1,0 +1,180 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sprwl/internal/analysis/cfg"
+)
+
+// Def is one definition site of a variable.
+type Def struct {
+	Var *types.Var
+	// Ident is the defining occurrence on the left-hand side.
+	Ident *ast.Ident
+	// Site is the statement performing the definition (the assignment,
+	// inc/dec, declaration, or range statement); it is the node the solver
+	// keys the definition's gen/kill on, so it is the right probe target
+	// for At when asking what reaches "just before this definition".
+	Site ast.Node
+	// RHS is the defining expression: the matching right-hand side for a
+	// one-to-one assignment, the multi-value call for tuple assignments,
+	// the ranged container for range key/value bindings, nil when there is
+	// no initializer.
+	RHS ast.Expr
+	// Compound marks definitions that read the variable's prior value
+	// (x += e, x++), so earlier definitions still flow through them.
+	Compound bool
+	// Guarded marks definitions that may not execute (short-circuit
+	// operand, invoked-literal body, deferred block).
+	Guarded bool
+}
+
+// ReachDefs is the may-forward reaching-definitions solution for one
+// function body: which Defs may supply a variable's value at each point.
+// Variables defined outside the body (parameters, captures) have no Def;
+// a use none of whose Defs reach it is reading such an outside value.
+type ReachDefs struct {
+	Graph *cfg.Graph
+	Defs  []*Def
+	// ByVar indexes Defs by variable.
+	ByVar map[*types.Var][]int
+
+	flow   *Flow
+	facts  Facts
+	byNode map[ast.Node][]int // visited node -> defs it performs
+	info   *types.Info
+}
+
+// NewReachDefs collects definition sites in g and solves reaching
+// definitions. Type-switch case bindings are not tracked (each clause
+// binds an implicit object); their uses simply see no reaching defs.
+func NewReachDefs(g *cfg.Graph, info *types.Info) *ReachDefs {
+	r := &ReachDefs{
+		Graph:  g,
+		ByVar:  make(map[*types.Var][]int),
+		byNode: make(map[ast.Node][]int),
+		info:   info,
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			cfg.Walk(n, b.Deferred, func(m ast.Node, guarded bool) bool {
+				r.collect(m, guarded)
+				return true
+			})
+		}
+	}
+	r.flow = &Flow{
+		Graph: g,
+		N:     len(r.Defs),
+		Mode:  MayForward,
+		Events: func(n ast.Node, _ bool) (gen, kill []int) {
+			idxs := r.byNode[n]
+			for _, i := range idxs {
+				gen = append(gen, i)
+				if r.Defs[i].Compound {
+					// x += e reads x's prior value: earlier definitions
+					// still contribute, so they are not killed.
+					continue
+				}
+				for _, j := range r.ByVar[r.Defs[i].Var] {
+					if j != i {
+						kill = append(kill, j)
+					}
+				}
+			}
+			return gen, kill
+		},
+	}
+	r.facts = r.flow.Solve()
+	return r
+}
+
+func (r *ReachDefs) collect(n ast.Node, guarded bool) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		compound := s.Tok != token.ASSIGN && s.Tok != token.DEFINE
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			} else if len(s.Rhs) == 1 {
+				rhs = s.Rhs[0]
+			}
+			r.addDef(s, id, rhs, compound, guarded)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			r.addDef(s, id, nil, true, guarded)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				var rhs ast.Expr
+				if len(vs.Values) == len(vs.Names) {
+					rhs = vs.Values[i]
+				} else if len(vs.Values) == 1 {
+					rhs = vs.Values[0]
+				}
+				r.addDef(s, id, rhs, false, guarded)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, lhs := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := lhs.(*ast.Ident); ok {
+				// The binding derives from the ranged container.
+				r.addDef(s, id, s.X, false, guarded)
+			}
+		}
+	}
+}
+
+func (r *ReachDefs) addDef(site ast.Node, id *ast.Ident, rhs ast.Expr, compound, guarded bool) {
+	if id.Name == "_" {
+		return
+	}
+	v := r.varOf(id)
+	if v == nil {
+		return
+	}
+	idx := len(r.Defs)
+	r.Defs = append(r.Defs, &Def{Var: v, Ident: id, Site: site, RHS: rhs, Compound: compound, Guarded: guarded})
+	r.ByVar[v] = append(r.ByVar[v], idx)
+	r.byNode[site] = append(r.byNode[site], idx)
+}
+
+func (r *ReachDefs) varOf(id *ast.Ident) *types.Var {
+	if v, ok := r.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := r.info.Uses[id].(*types.Var)
+	return v
+}
+
+// At returns the definitions that may reach immediately before target,
+// which must be a sub-node of one of b's nodes (in Walk order). If target
+// is not found, the block-entry fact is returned.
+func (r *ReachDefs) At(b *cfg.Block, target ast.Node) Bits {
+	result := r.facts.In[b].Clone()
+	found := false
+	r.flow.ReplayForward(b, r.facts.In[b], func(m ast.Node, _ bool, before Bits) {
+		if m == target && !found {
+			result = before.Clone()
+			found = true
+		}
+	})
+	return result
+}

@@ -1,0 +1,440 @@
+// Package doomedread is the static shadow of validated lazy subscription
+// (DESIGN.md §8, paper §3.3): inside a hardware transaction that elides the
+// global fallback lock, a value returned by tx.Load may be inconsistent
+// until the transaction has subscribed to the lock — loaded the lock word
+// (or the glVer version word) and aborted if it is held. Acting on such a
+// value before subscription is the classic lazy-subscription hazard: a
+// doomed transaction can take an impossible branch, index out of bounds, or
+// compute a wild address, with effects the eventual abort does not undo
+// (infinite loops, panics in the Go-level harness).
+//
+// The analyzer finds transaction entry points — function values passed as
+// the last argument of a call named Attempt, resolved through the
+// function-value call graph (inline literals, locals, and the core
+// handle's txRead/txWrite fields) — and, per entry, solves a must-forward
+// "subscribed" fact over the CFG. A subscription is a tx.Load whose address
+// operand originates from a zero-argument Addr() method call (the spin-lock
+// address accessors) or names the glVer version word; origins are resolved
+// through intraprocedural reaching definitions, falling back to a
+// package-wide assignment index for addresses captured from the enclosing
+// function (glAddr := l.gl.Addr() in tle/rwle/core). Every other tx.Load is
+// a taint source. At each point where the fact does not yet hold on every
+// path, four uses are reported:
+//
+//   - R1: a branch condition (the final expression of a multi-successor
+//     block, including switch tags and ranged containers) mentioning a
+//     tainted value;
+//   - R2: an index expression whose index is tainted;
+//   - R3: a tx.Load/tx.Store whose address operand is tainted (address
+//     arithmetic on a doomed value);
+//   - R4: any call that passes the transaction accessor onward (except the
+//     accessor's own methods) — the callee may do all of the above out of
+//     this function's sight, so the subscription must already be
+//     established at the call.
+//
+// Taint propagates through reaching definitions (compound assignments
+// preserve prior definitions, so x += tx.Load(a) stays tainted) but not
+// through calls or function-literal boundaries: a literal passed to
+// tx.Suspend is the suspended section, which runs with the transaction
+// already validated. Helper methods that merely receive tx are not
+// analyzed as entries; rule R4 at their call sites covers them soundly.
+package doomedread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sprwl/internal/analysis/astq"
+	"sprwl/internal/analysis/callgraph"
+	"sprwl/internal/analysis/cfg"
+	"sprwl/internal/analysis/dataflow"
+	"sprwl/internal/analysis/driver"
+)
+
+// Analyzer is the doomedread check.
+var Analyzer = &driver.Analyzer{
+	Name: "doomedread",
+	Doc:  "require fallback-lock subscription before transactional loads feed branches, indexes, addresses, or escaping calls (validated lazy subscription)",
+	Run:  run,
+}
+
+// scoped names the packages that elide the fallback lock in hardware
+// transactions; fixtures mirror one of these names.
+var scoped = map[string]bool{"core": true, "tle": true, "rwle": true}
+
+const bitSubscribed = 0
+
+func run(pass *driver.Pass) error {
+	if !scoped[pass.Pkg.Name] {
+		return nil
+	}
+	cg := callgraph.Build(pass.Prog, []*driver.Package{pass.Pkg})
+	addrDefs := collectAddrDefs(pass.Pkg)
+
+	seen := make(map[*ast.BlockStmt]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || astq.CalleeName(call) != "Attempt" || len(call.Args) == 0 {
+				return true
+			}
+			// The transaction body is by convention the last argument; an
+			// incomplete resolution (a body that could be anything) is
+			// skipped rather than guessed at.
+			callees, complete := cg.ValuesOf(pass.Pkg.Info, call.Args[len(call.Args)-1])
+			if !complete {
+				return true
+			}
+			for _, c := range callees {
+				body, pkg := cg.SourceOf(c)
+				if pkg == nil {
+					pkg = pass.Pkg
+				}
+				if body == nil || seen[body] {
+					continue
+				}
+				seen[body] = true
+				checkEntry(pass, pkg, c, body, addrDefs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// txParam extracts the accessor parameter (the entry's first parameter).
+func txParam(info *types.Info, c callgraph.Callee) *types.Var {
+	var t types.Type
+	if c.Func != nil {
+		t = c.Func.Type()
+	} else if c.Lit != nil {
+		t = astq.TypeOf(info, c.Lit)
+	}
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return nil
+	}
+	return sig.Params().At(0)
+}
+
+type checker struct {
+	pass     *driver.Pass
+	info     *types.Info
+	tx       *types.Var
+	g        *cfg.Graph
+	rd       *dataflow.ReachDefs
+	nodeBlk  map[ast.Node]*cfg.Block
+	addrDefs map[*types.Var][]ast.Expr
+	sources  map[ast.Node]bool // tx.Load of a non-lock address
+	subs     map[ast.Node]bool // tx.Load of a lock address (subscription)
+	tainted  map[*dataflow.Def]bool
+}
+
+func checkEntry(pass *driver.Pass, pkg *driver.Package, ce callgraph.Callee, body *ast.BlockStmt, addrDefs map[*types.Var][]ast.Expr) {
+	tx := txParam(pkg.Info, ce)
+	if tx == nil {
+		return
+	}
+	c := &checker{
+		pass:     pass,
+		info:     pkg.Info,
+		tx:       tx,
+		addrDefs: addrDefs,
+		nodeBlk:  make(map[ast.Node]*cfg.Block),
+		sources:  make(map[ast.Node]bool),
+		subs:     make(map[ast.Node]bool),
+		tainted:  make(map[*dataflow.Def]bool),
+	}
+	c.g = cfg.New(body, cfg.Options{
+		Info: pkg.Info,
+		NoReturn: func(call *ast.CallExpr) bool {
+			return astq.CalleeName(call) == "Abort"
+		},
+	})
+	c.rd = dataflow.NewReachDefs(c.g, pkg.Info)
+
+	for _, b := range c.g.Blocks {
+		for _, n := range b.Nodes {
+			blk := b
+			cfg.Walk(n, b.Deferred, func(m ast.Node, _ bool) bool {
+				if _, ok := c.nodeBlk[m]; !ok {
+					c.nodeBlk[m] = blk
+				}
+				return true
+			})
+		}
+	}
+
+	// Classify every tx.Load as subscription or source.
+	for m, b := range c.nodeBlk {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || !c.isTxCall(call, "Load", 1) {
+			continue
+		}
+		if c.isLockAddr(call.Args[0], b, m, 0) {
+			c.subs[m] = true
+		} else {
+			c.sources[m] = true
+		}
+	}
+
+	c.solveTaint()
+	c.report()
+}
+
+// isTxCall reports whether call is tx.<name> with nargs arguments.
+func (c *checker) isTxCall(call *ast.CallExpr, name string, nargs int) bool {
+	if astq.CalleeName(call) != name || len(call.Args) != nargs {
+		return false
+	}
+	return c.isTxMethod(call)
+}
+
+// isTxMethod reports whether call is a method call on the accessor itself.
+func (c *checker) isTxMethod(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return astq.RootVar(c.info, sel.X) == c.tx
+}
+
+// isLockAddr reports whether e denotes a fallback-lock address: an Addr()
+// accessor call or the glVer word, directly or through definitions. A
+// variable with no definitions inside the entry is a capture or parameter;
+// it qualifies when every assignment to it anywhere in the package is an
+// Addr() call (the glAddr := l.gl.Addr() idiom in the enclosing function).
+func (c *checker) isLockAddr(e ast.Expr, b *cfg.Block, probe ast.Node, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	if isAddrExpr(e) {
+		return true
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "glVer" {
+			return true
+		}
+		v, _ := c.info.Uses[x].(*types.Var)
+		if v == nil {
+			return false
+		}
+		idxs := c.rd.ByVar[v]
+		if len(idxs) == 0 {
+			rhss, ok := c.addrDefs[v]
+			if !ok || len(rhss) == 0 {
+				return false
+			}
+			for _, r := range rhss {
+				if r == nil || !isAddrExpr(r) {
+					return false
+				}
+			}
+			return true
+		}
+		reach := c.rd.At(b, probe)
+		any := false
+		for _, i := range idxs {
+			if !reach.Has(i) {
+				continue
+			}
+			d := c.rd.Defs[i]
+			db := c.nodeBlk[d.Site]
+			if d.RHS == nil || db == nil || !c.isLockAddr(d.RHS, db, d.Site, depth+1) {
+				return false
+			}
+			any = true
+		}
+		return any
+	}
+	return false
+}
+
+// isAddrExpr is the syntactic lock-address test used where no dataflow
+// context is available (package-wide assignments in other functions).
+func isAddrExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return astq.CalleeName(x) == "Addr" && len(x.Args) == 0
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "glVer"
+	}
+	return false
+}
+
+// solveTaint marks definitions whose right-hand side carries a tx.Load
+// result, to fixpoint so taint chains through intermediate variables.
+func (c *checker) solveTaint() {
+	for changed := true; changed; {
+		changed = false
+		for _, d := range c.rd.Defs {
+			if c.tainted[d] || d.RHS == nil {
+				continue
+			}
+			b := c.nodeBlk[d.Site]
+			if b == nil {
+				continue
+			}
+			if c.taintedExpr(d.RHS, b, d.Site) {
+				c.tainted[d] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// taintedExpr reports whether e mentions a doomed value at probe: a source
+// tx.Load directly, or a variable one of whose reaching definitions is
+// tainted. Function literals are opaque (consistent with cfg.Walk).
+func (c *checker) taintedExpr(e ast.Expr, b *cfg.Block, probe ast.Node) bool {
+	reach := c.rd.At(b, probe)
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if c.sources[x] {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			v, _ := c.info.Uses[x].(*types.Var)
+			if v == nil {
+				return true
+			}
+			for _, i := range c.rd.ByVar[v] {
+				if reach.Has(i) && c.tainted[c.rd.Defs[i]] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) report() {
+	flow := &dataflow.Flow{
+		Graph: c.g, N: 1, Mode: dataflow.MustForward,
+		Events: func(n ast.Node, _ bool) (gen, kill []int) {
+			if c.subs[n] {
+				gen = append(gen, bitSubscribed)
+			}
+			return gen, nil
+		},
+	}
+	facts := flow.Solve()
+
+	// A branch condition is the final expression of a multi-successor
+	// block (if/for conditions, short-circuit operands, switch tags in
+	// final position) or the container of a range head.
+	condNodes := make(map[ast.Node]bool)
+	for _, b := range c.g.Blocks {
+		if len(b.Succs) >= 2 && len(b.Nodes) > 0 {
+			condNodes[b.Nodes[len(b.Nodes)-1]] = true
+		}
+	}
+
+	for _, b := range c.g.Blocks {
+		blk := b
+		flow.ReplayForward(b, facts.In[b], func(n ast.Node, _ bool, before dataflow.Bits) {
+			if before.Has(bitSubscribed) {
+				return
+			}
+			if condNodes[n] {
+				var probe ast.Expr
+				if r, ok := n.(*ast.RangeStmt); ok {
+					probe = r.X
+				} else if e, ok := n.(ast.Expr); ok {
+					probe = e
+				}
+				if probe != nil && c.taintedExpr(probe, blk, n) {
+					c.pass.Reportf(n.Pos(), "doomed read: branch depends on a transactional load with no prior fallback-lock subscription on every path; a doomed transaction can take an impossible branch")
+					return
+				}
+			}
+			switch x := n.(type) {
+			case *ast.IndexExpr:
+				if c.taintedExpr(x.Index, blk, n) {
+					c.pass.Reportf(n.Pos(), "doomed read: index derived from a transactional load with no prior fallback-lock subscription on every path")
+				}
+			case *ast.CallExpr:
+				if c.isTxCall(x, "Load", 1) || c.isTxCall(x, "Store", 2) {
+					if c.taintedExpr(x.Args[0], blk, n) {
+						c.pass.Reportf(n.Pos(), "doomed read: transactional access at an address derived from a transactional load with no prior fallback-lock subscription on every path")
+					}
+				} else if !c.isTxMethod(x) {
+					for _, a := range x.Args {
+						id, ok := ast.Unparen(a).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if v, _ := c.info.Uses[id].(*types.Var); v == c.tx {
+							c.pass.Reportf(x.Pos(), "doomed read: the transaction accessor escapes to %s with no prior fallback-lock subscription on every path; the callee may act on doomed values out of sight", astq.CalleeName(x))
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// collectAddrDefs indexes every single-valued assignment to an identifier
+// across the package. A nil entry poisons the variable (multi-value
+// assignment, inc/dec, range binding: origin unknown).
+func collectAddrDefs(pkg *driver.Package) map[*types.Var][]ast.Expr {
+	out := make(map[*types.Var][]ast.Expr)
+	add := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v, ok := pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			v, _ = pkg.Info.Uses[id].(*types.Var)
+		}
+		if v != nil {
+			out[v] = append(out[v], rhs)
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					if len(s.Lhs) == len(s.Rhs) {
+						add(lhs, s.Rhs[i])
+					} else {
+						add(lhs, nil)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if len(s.Values) == len(s.Names) {
+						add(name, s.Values[i])
+					} else if len(s.Values) != 0 {
+						add(name, nil)
+					}
+				}
+			case *ast.IncDecStmt:
+				add(s.X, nil)
+			case *ast.RangeStmt:
+				if s.Key != nil {
+					add(s.Key, nil)
+				}
+				if s.Value != nil {
+					add(s.Value, nil)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

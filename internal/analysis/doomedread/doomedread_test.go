@@ -1,0 +1,12 @@
+package doomedread_test
+
+import (
+	"testing"
+
+	"sprwl/internal/analysis/analysistest"
+	"sprwl/internal/analysis/doomedread"
+)
+
+func TestDoomedRead(t *testing.T) {
+	analysistest.Run(t, "testdata", doomedread.Analyzer, "doomtx")
+}

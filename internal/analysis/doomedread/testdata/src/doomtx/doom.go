@@ -1,0 +1,165 @@
+// Package core mirrors the transaction-attempt shape shared by the elision
+// baselines (tle, rwle) and the core handle closures, so the doomedread
+// analyzer's entry discovery, lock-address origin tracking, and taint
+// propagation can be exercised on reduced functions. As with the fence
+// fixtures, every bad* function is clean in source order — the hazard only
+// exists on some CFG path — and the analyzer gates on the package name.
+package core
+
+import "sprwl/internal/memmodel"
+
+type txT struct{}
+
+func (txT) Load(a memmodel.Addr) uint64     { return 0 }
+func (txT) Store(a memmodel.Addr, v uint64) {}
+func (txT) Abort(code int)                  {}
+
+type envT struct{}
+
+func (envT) Attempt(slot int, body func(tx txT)) int { return 0 }
+
+type spin struct{}
+
+func (spin) Addr() memmodel.Addr { return 0 }
+
+type lock struct {
+	e  envT
+	gl spin
+}
+
+func helper(tx txT, a memmodel.Addr) {}
+
+// badConditionalSubscribe subscribes only on the fast path; the other path
+// branches on a doomed load (R1). In source order the subscription comes
+// first, so only the CFG sees the gap.
+func (l *lock) badConditionalSubscribe(slot int, fast bool, data memmodel.Addr) {
+	glAddr := l.gl.Addr()
+	l.e.Attempt(slot, func(tx txT) {
+		if fast {
+			if tx.Load(glAddr) != 0 {
+				tx.Abort(1)
+			}
+		}
+		v := tx.Load(data)
+		if v > 10 { // want `branch depends on a transactional load`
+			tx.Store(data, v)
+		}
+	})
+}
+
+// goodSubscribeFirst is the canonical elision shape: subscribe, abort if
+// held, then use loaded values freely.
+func (l *lock) goodSubscribeFirst(slot int, data memmodel.Addr) {
+	glAddr := l.gl.Addr()
+	l.e.Attempt(slot, func(tx txT) {
+		if tx.Load(glAddr) != 0 {
+			tx.Abort(1)
+		}
+		v := tx.Load(data)
+		if v > 10 {
+			tx.Store(data, v)
+		}
+	})
+}
+
+// badIndex derives an index from an unsubscribed load (R2); the taint
+// flows through an intermediate variable and a compound update.
+func (l *lock) badIndex(slot int, data memmodel.Addr, xs []uint64) {
+	glAddr := l.gl.Addr()
+	l.e.Attempt(slot, func(tx txT) {
+		i := tx.Load(data)
+		i += 1
+		_ = xs[i] // want `index derived from a transactional load`
+		if tx.Load(glAddr) != 0 {
+			tx.Abort(1)
+		}
+	})
+}
+
+// badAddrArith computes a transactional address from an unsubscribed load
+// (R3).
+func (l *lock) badAddrArith(slot int, data memmodel.Addr) {
+	l.e.Attempt(slot, func(tx txT) {
+		off := tx.Load(data)
+		_ = tx.Load(data + memmodel.Addr(off)) // want `address derived from a transactional load`
+	})
+}
+
+// badEscape hands the accessor to a helper before subscribing (R4): the
+// callee may branch on doomed loads out of this function's sight.
+func (l *lock) badEscape(slot int, data memmodel.Addr) {
+	glAddr := l.gl.Addr()
+	l.e.Attempt(slot, func(tx txT) {
+		helper(tx, data) // want `transaction accessor escapes to helper`
+		if tx.Load(glAddr) != 0 {
+			tx.Abort(1)
+		}
+	})
+}
+
+// goodEscapeAfterSubscribe mirrors tle's run closure: the captured glAddr
+// subscription dominates the body invocation.
+func (l *lock) goodEscapeAfterSubscribe(slot int, data memmodel.Addr) {
+	glAddr := l.gl.Addr()
+	l.e.Attempt(slot, func(tx txT) {
+		if tx.Load(glAddr) != 0 {
+			tx.Abort(1)
+		}
+		helper(tx, data)
+	})
+}
+
+// goodPlainAccess never branches on a loaded value: straight loads and
+// stores are tracked by the hardware and need no subscription order.
+func (l *lock) goodPlainAccess(slot int, data memmodel.Addr) {
+	l.e.Attempt(slot, func(tx txT) {
+		v := tx.Load(data)
+		tx.Store(data, v+1)
+	})
+}
+
+type handle struct {
+	l      *lock
+	txRead func(tx txT)
+}
+
+// newHandle mirrors core.NewHandle: the entry is stored into a struct
+// field here and passed to Attempt in another function; the call graph
+// connects the two. The closure branches on a doomed load (R1).
+func (l *lock) newHandle(data memmodel.Addr) *handle {
+	h := &handle{l: l}
+	h.txRead = func(tx txT) {
+		v := tx.Load(data)
+		if v == 0 { // want `branch depends on a transactional load`
+			tx.Store(data, 1)
+		}
+	}
+	return h
+}
+
+func (h *handle) run(slot int) {
+	h.l.e.Attempt(slot, h.txRead)
+}
+
+// badLoopSubscribe subscribes at the bottom of the loop; the first
+// iteration ranges over a doomed length (R1 on the loop condition).
+func (l *lock) badLoopSubscribe(slot int, data memmodel.Addr) {
+	glAddr := l.gl.Addr()
+	l.e.Attempt(slot, func(tx txT) {
+		n := tx.Load(data)
+		for i := uint64(0); i < n; i++ { // want `branch depends on a transactional load`
+			tx.Store(data+memmodel.Addr(1), i)
+		}
+		if tx.Load(glAddr) != 0 {
+			tx.Abort(1)
+		}
+	})
+}
+
+// allowedEscape is a deliberate, justified exception.
+func (l *lock) allowedEscape(slot int, data memmodel.Addr) {
+	l.e.Attempt(slot, func(tx txT) {
+		//sprwl:allow(doomedread) fixture: deliberate exception for a pre-validated helper
+		helper(tx, data)
+	})
+}

@@ -67,6 +67,20 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Suppressed are findings silenced by an //sprwl:allow directive.
 	Suppressed []Diagnostic
+	// StaleAllows are //sprwl:allow directives in the analyzed packages
+	// that silenced nothing in this run. A suppression is a standing claim
+	// that a finding exists and is deliberate; once the finding is gone
+	// (the code changed, or the analyzer learned the pattern) the
+	// directive is debt and must be deleted — cmd/sprwl-lint treats these
+	// as errors. Directives in dependency packages that were loaded but
+	// not analyzed are not judged: their findings were never generated.
+	StaleAllows []Allow
+}
+
+// Allow is one //sprwl:allow directive site.
+type Allow struct {
+	Pos   token.Pos
+	Names []string
 }
 
 // RunAnalyzers runs every analyzer over every package, de-duplicates
@@ -109,6 +123,7 @@ func RunAnalyzers(prog *Program, pkgs []*Package, analyzers []*Analyzer) (Result
 			res.Diagnostics = append(res.Diagnostics, d)
 		}
 	}
+	res.StaleAllows = allows.stale(prog.Fset, pkgs)
 	sortDiags(prog.Fset, res.Diagnostics)
 	sortDiags(prog.Fset, res.Suppressed)
 	return res, nil
@@ -130,26 +145,69 @@ func sortDiags(fset *token.FileSet, ds []Diagnostic) {
 	})
 }
 
-// allowIndex maps filename → line → analyzer names allowed on that line.
-type allowIndex map[string]map[int][]string
+// allowSite is one //sprwl:allow directive, with a usage mark so unused
+// directives can be reported as stale.
+type allowSite struct {
+	pos   token.Pos
+	names []string
+	used  bool
+}
+
+// allowIndex maps filename → line → the directives on that line.
+type allowIndex map[string]map[int][]*allowSite
 
 // covers reports whether a diagnostic at p is silenced: an
 // //sprwl:allow(name) directive on the same line or on the line
 // immediately above suppresses analyzer name ("all" suppresses every
-// analyzer).
+// analyzer). A directive that silences a finding is marked used.
 func (ai allowIndex) covers(p token.Position, name string) bool {
 	lines := ai[p.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, l := range []int{p.Line, p.Line - 1} {
-		for _, n := range lines[l] {
-			if n == name || n == "all" {
-				return true
+		for _, s := range lines[l] {
+			for _, n := range s.names {
+				if n == name || n == "all" {
+					s.used = true
+					return true
+				}
 			}
 		}
 	}
 	return false
+}
+
+// stale returns the directives in the analyzed packages that silenced
+// nothing. Call after every diagnostic has been run through covers.
+func (ai allowIndex) stale(fset *token.FileSet, pkgs []*Package) []Allow {
+	analyzed := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			analyzed[fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	var out []Allow
+	for file, lines := range ai {
+		if !analyzed[file] {
+			continue
+		}
+		for _, sites := range lines {
+			for _, s := range sites {
+				if !s.used {
+					out = append(out, Allow{Pos: s.pos, Names: s.names})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return out
 }
 
 // collectAllows scans every loaded file (including dependencies, so a
@@ -168,10 +226,10 @@ func collectAllows(prog *Program) allowIndex {
 					pos := prog.Fset.Position(c.Pos())
 					lines := ai[pos.Filename]
 					if lines == nil {
-						lines = make(map[int][]string)
+						lines = make(map[int][]*allowSite)
 						ai[pos.Filename] = lines
 					}
-					lines[pos.Line] = append(lines[pos.Line], names...)
+					lines[pos.Line] = append(lines[pos.Line], &allowSite{pos: c.Pos(), names: names})
 				}
 			}
 		}

@@ -196,7 +196,11 @@ func (p *Program) load(path, dir string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses every non-test Go file in dir.
+// parseDir parses every non-test Go file in dir that the current build
+// configuration selects: files excluded by a //go:build constraint or a
+// GOOS/GOARCH filename suffix are skipped, exactly as the go tool would
+// skip them, so the analyzers never see (and never type-check) code that
+// cannot be part of this build.
 func (p *Program) parseDir(dir string) ([]*ast.File, string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -207,6 +211,9 @@ func (p *Program) parseDir(dir string) ([]*ast.File, string, error) {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
 			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, n); err != nil || !match {
 			continue
 		}
 		names = append(names, n)

@@ -1,0 +1,186 @@
+package driver
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module on disk and returns a
+// Program rooted at it plus its module path.
+func writeModule(t *testing.T, files map[string]string) (*Program, string) {
+	t.Helper()
+	dir := t.TempDir()
+	all := map[string]string{"go.mod": "module example.com/m\n\ngo 1.22\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewProgram(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, "example.com/m"
+}
+
+func TestLoadUnparsableFile(t *testing.T) {
+	p, mod := writeModule(t, map[string]string{
+		"a.go": "package m\n\nfunc broken( {\n",
+	})
+	if _, err := p.Load(mod); err == nil {
+		t.Fatal("Load succeeded on a file with a syntax error")
+	} else if !strings.Contains(err.Error(), "a.go") {
+		t.Fatalf("error does not name the unparsable file: %v", err)
+	}
+}
+
+func TestLoadMissingImport(t *testing.T) {
+	p, mod := writeModule(t, map[string]string{
+		"a.go": "package m\n\nimport \"example.com/m/nosuch\"\n\nvar _ = nosuch.X\n",
+	})
+	_, err := p.Load(mod)
+	if err == nil {
+		t.Fatal("Load succeeded despite an unresolvable import")
+	}
+	if !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("error does not name the missing import: %v", err)
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	p, mod := writeModule(t, map[string]string{
+		"a.go": "package m\n\nvar x int = \"not an int\"\n",
+	})
+	if _, err := p.Load(mod); err == nil {
+		t.Fatal("Load succeeded on an ill-typed package")
+	} else if !strings.Contains(err.Error(), "typecheck") {
+		t.Fatalf("type error not labelled as such: %v", err)
+	}
+}
+
+// TestLoadBuildTagExcluded checks that parseDir honours build constraints:
+// a file fenced off by //go:build, or by a foreign-GOOS filename suffix,
+// must not be parsed — the excluded files here would fail type checking
+// (duplicate declarations) if they slipped in.
+func TestLoadBuildTagExcluded(t *testing.T) {
+	p, mod := writeModule(t, map[string]string{
+		"a.go":          "package m\n\nfunc F() int { return 1 }\n",
+		"b.go":          "//go:build neverever\n\npackage m\n\nfunc F() int { return 2 }\n",
+		"c_windows.go":  "package m\n\nfunc F() int { return 3 }\n",
+		"d_plan9_386.s": "",
+	})
+	if _, ok := os.LookupEnv("GOOS"); ok && os.Getenv("GOOS") == "windows" {
+		t.Skip("test encodes a non-windows build configuration")
+	}
+	pkg, err := p.Load(mod)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (constraint-excluded files must be skipped)", len(pkg.Files))
+	}
+	name := p.Fset.Position(pkg.Files[0].Pos()).Filename
+	if filepath.Base(name) != "a.go" {
+		t.Fatalf("wrong file survived: %s", name)
+	}
+}
+
+// TestLoadFixtureShadowsStdlib checks import-path resolution order: with a
+// FixtureRoot configured, a fixture directory whose name collides with a
+// standard-library path wins, so analysistest fixtures can stub stdlib
+// packages deterministically.
+func TestLoadFixtureShadowsStdlib(t *testing.T) {
+	p, _ := writeModule(t, map[string]string{"a.go": "package m\n"})
+	fixtures := t.TempDir()
+	dir := filepath.Join(fixtures, "strings")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package strings\n\n// Marker proves the fixture, not GOROOT, was loaded.\nfunc Marker() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "strings.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p.FixtureRoot = fixtures
+	pkg, err := p.Load("strings")
+	if err != nil {
+		t.Fatalf("Load(strings): %v", err)
+	}
+	if pkg.Dir != dir {
+		t.Fatalf("loaded %s, want fixture dir %s", pkg.Dir, dir)
+	}
+	if pkg.Types.Scope().Lookup("Marker") == nil {
+		t.Fatal("fixture package lacks Marker: stdlib strings was loaded instead")
+	}
+}
+
+func TestLoadNoGoFiles(t *testing.T) {
+	p, mod := writeModule(t, map[string]string{"sub/README.txt": "nothing here\n"})
+	if _, err := p.Load(mod + "/sub"); err == nil {
+		t.Fatal("Load succeeded on a directory with no Go files")
+	} else if !strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestStaleAllows checks the suppression lifecycle: a directive that
+// silences a finding is honoured, one that silences nothing is surfaced as
+// stale (including directives naming analyzers that never report).
+func TestStaleAllows(t *testing.T) {
+	p, mod := writeModule(t, map[string]string{
+		"a.go": `package m
+
+//sprwl:allow(dummy) live: suppresses the finding on the next line
+var X = 1
+
+//sprwl:allow(dummy) stale: nothing is reported here
+var Y = 2
+
+//sprwl:allow(ghost) stale: no analyzer by this name ever fires
+var Z = 3
+`,
+	})
+	dummy := &Analyzer{Name: "dummy", Doc: "reports every identifier named X", Run: func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "X" {
+					pass.Reportf(id.Pos(), "X sighted")
+				}
+				return true
+			})
+		}
+		return nil
+	}}
+	pkg, err := p.Load(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAnalyzers(p, []*Package{pkg}, []*Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("surviving diagnostics: %v", res.Diagnostics)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("got %d suppressed findings, want 1", len(res.Suppressed))
+	}
+	if len(res.StaleAllows) != 2 {
+		t.Fatalf("got %d stale allows, want 2: %v", len(res.StaleAllows), res.StaleAllows)
+	}
+	if l := p.Fset.Position(res.StaleAllows[0].Pos).Line; l != 6 {
+		t.Errorf("first stale allow on line %d, want 6", l)
+	}
+	if n := res.StaleAllows[1].Names; len(n) != 1 || n[0] != "ghost" {
+		t.Errorf("second stale allow names %v, want [ghost]", n)
+	}
+}

@@ -1,0 +1,244 @@
+// Package fenceorder is the flow-sensitive companion to releaseorder: it
+// checks the same SpRWL core-protocol fence points, but over the control
+// flow graph instead of source order, so violations that only exist on SOME
+// execution path — an early return that skips the retract, a conditional
+// that bypasses the clockW store, a loop that re-runs the body after
+// unflagging — are caught even when every individual straight-line slice of
+// the function looks correctly ordered.
+//
+// Per function (declarations and each function literal separately), five
+// rules run over coreevent-classified calls:
+//
+//   - F1 (may-forward): no path may reach a critical-section body
+//     invocation with the reader flag already retracted — re-running the
+//     body after unflagReader/departFrom/stateEmpty leaves the read
+//     invisible to writers;
+//
+//   - F2 (must-forward): in a function that stores the writer clock, every
+//     path into a stateWriter advertise must have stored clockW first;
+//
+//   - F3 (must-forward): in a function that flags the reader, every path
+//     into a readerVer <- 0 retire must already be flagged;
+//
+//   - F4 (must-backward): every path out of a readerVer registration
+//     (nonzero store) must perform a glVer validation load — conditional
+//     validation is the unsafe lazy-subscription pattern;
+//
+//   - F5 (must-backward): in a function that both flags the reader and
+//     invokes the body, every path from the body to return must retract
+//     the flag — a path that exits flagged leaks the published slot.
+//
+// F2/F3/F5 are scoped to functions that contain the establishing event at
+// all, so helpers that only perform one half of a handshake (finishWrite's
+// stateEmpty store, checkForReaders' state loads) are not false positives.
+// tx.Abort terminates a path (transactions never fall through an abort),
+// and events inside nested function literals belong to the literal's own
+// analysis, not the enclosing function's CFG.
+package fenceorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sprwl/internal/analysis/astq"
+	"sprwl/internal/analysis/cfg"
+	"sprwl/internal/analysis/coreevent"
+	"sprwl/internal/analysis/dataflow"
+	"sprwl/internal/analysis/driver"
+)
+
+// Analyzer is the fenceorder check.
+var Analyzer = &driver.Analyzer{
+	Name: "fenceorder",
+	Doc:  "flow-sensitive fence ordering of the core protocol: flag/retract, clockW/stateWriter, and lazy-subscription validation on every CFG path",
+	Run:  run,
+}
+
+// Bit indices of the three dataflow universes.
+const (
+	bitFlagged = 0 // must-forward: reader is flagged on every path here
+	bitClockW  = 1 // must-forward: clockW stored on every path here
+
+	bitRetracted = 0 // may-forward: some path here has retracted the flag
+
+	bitGLVerLoad = 0 // must-backward: glVer load ahead on every path
+	bitRetract   = 1 // must-backward: retract ahead on every path
+)
+
+func run(pass *driver.Pass) error {
+	// Like releaseorder, the invariants are properties of the core
+	// implementation package and of fixtures mirroring it.
+	if pass.Pkg.Name != "core" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, info, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Each literal is its own protocol sequence (attempt
+				// closures, deferred cleanups); cfg.Walk keeps its events
+				// out of the enclosing function's analysis.
+				checkBody(pass, info, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
+	g := cfg.New(body, cfg.Options{
+		Info: info,
+		NoReturn: func(call *ast.CallExpr) bool {
+			// tx.Abort never returns into the transaction body.
+			return astq.CalleeName(call) == "Abort"
+		},
+	})
+
+	// Classify once; the three flows and the replay passes all index this.
+	events := make(map[ast.Node]coreevent.Event)
+	aborts := make(map[ast.Node]bool)
+	var hasFlag, hasClockWStore bool
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			cfg.Walk(n, b.Deferred, func(m ast.Node, _ bool) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if astq.CalleeName(call) == "Abort" || astq.PanicsOnly(info, call) {
+					aborts[m] = true
+					return true
+				}
+				if ev, ok := coreevent.Classify(info, call); ok {
+					events[m] = ev
+					switch {
+					case ev.Kind == coreevent.Flag:
+						hasFlag = true
+					case ev.Kind == coreevent.Store && ev.Fam == coreevent.FamClockW:
+						hasClockWStore = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(events) == 0 {
+		return
+	}
+
+	mustFwd := &dataflow.Flow{
+		Graph: g, N: 2, Mode: dataflow.MustForward,
+		Events: func(n ast.Node, _ bool) (gen, kill []int) {
+			ev, ok := events[n]
+			if !ok {
+				return nil, nil
+			}
+			switch {
+			case ev.Kind == coreevent.Flag:
+				gen = append(gen, bitFlagged)
+			case coreevent.IsRetractEvent(ev):
+				kill = append(kill, bitFlagged)
+			case ev.Kind == coreevent.Store && ev.Fam == coreevent.FamClockW:
+				gen = append(gen, bitClockW)
+			}
+			return gen, kill
+		},
+	}
+	mayFwd := &dataflow.Flow{
+		Graph: g, N: 1, Mode: dataflow.MayForward,
+		Events: func(n ast.Node, _ bool) (gen, kill []int) {
+			ev, ok := events[n]
+			if !ok {
+				return nil, nil
+			}
+			switch {
+			case coreevent.IsRetractEvent(ev):
+				gen = append(gen, bitRetracted)
+			case ev.Kind == coreevent.Flag:
+				kill = append(kill, bitRetracted)
+			}
+			return gen, kill
+		},
+	}
+	mustBwd := &dataflow.Flow{
+		Graph: g, N: 2, Mode: dataflow.MustBackward,
+		Events: func(n ast.Node, _ bool) (gen, kill []int) {
+			if aborts[n] {
+				// The CFG edges aborts to Exit like a return, but an abort
+				// unwinds the transaction and rolls back its simulated
+				// stores, discharging every path obligation.
+				return []int{bitGLVerLoad, bitRetract}, nil
+			}
+			ev, ok := events[n]
+			if !ok {
+				return nil, nil
+			}
+			switch {
+			case ev.Kind == coreevent.Load && ev.Fam == coreevent.FamGLVer:
+				gen = append(gen, bitGLVerLoad)
+			case coreevent.IsRetractEvent(ev):
+				gen = append(gen, bitRetract)
+			}
+			return gen, kill
+		},
+	}
+
+	mustFacts := mustFwd.Solve()
+	mayFacts := mayFwd.Solve()
+	bwdFacts := mustBwd.Solve()
+
+	for _, b := range g.Blocks {
+		mustFwd.ReplayForward(b, mustFacts.In[b], func(n ast.Node, _ bool, before dataflow.Bits) {
+			ev, ok := events[n]
+			if !ok || ev.Kind != coreevent.Store {
+				return
+			}
+			switch {
+			case ev.Fam == coreevent.FamState && ev.Val == coreevent.ValStateWriter:
+				// F2: advertise requires the clock on every incoming path.
+				if hasClockWStore && !before.Has(bitClockW) {
+					pass.Reportf(ev.Pos, "fence order: a path reaches this stateWriter advertise without storing the writer clock (clockW); readers on that path observe an active writer with a stale clock")
+				}
+			case ev.Fam == coreevent.FamReaderVer && ev.Val == coreevent.ValZero:
+				// F3: retire only while flagged, on every incoming path.
+				if hasFlag && !before.Has(bitFlagged) {
+					pass.Reportf(ev.Pos, "fence order: a path reaches this readerVer retire (store of zero) with the reader not flagged; neither the version word nor the flag covers the reader on that path")
+				}
+			}
+		})
+		mayFwd.ReplayForward(b, mayFacts.In[b], func(n ast.Node, _ bool, before dataflow.Bits) {
+			ev, ok := events[n]
+			if !ok || ev.Kind != coreevent.Body {
+				return
+			}
+			// F1: no path may re-enter the body after retracting.
+			if before.Has(bitRetracted) {
+				pass.Reportf(ev.Pos, "fence order: a path reaches this critical-section body with the reader flag already retracted; re-flag before re-running the body")
+			}
+		})
+		mustBwd.ReplayBackward(b, bwdFacts.Out[b], func(n ast.Node, _ bool, after dataflow.Bits) {
+			ev, ok := events[n]
+			if !ok {
+				return
+			}
+			switch {
+			case ev.Kind == coreevent.Store && ev.Fam == coreevent.FamReaderVer && ev.Val != coreevent.ValZero:
+				// F4: registration must be validated on every outgoing path.
+				if !after.Has(bitGLVerLoad) {
+					pass.Reportf(ev.Pos, "fence order: a path from this readerVer registration reaches return without a glVer validation load (unsafe lazy subscription)")
+				}
+			case ev.Kind == coreevent.Body && hasFlag:
+				// F5: the flag must come down on every path after the body.
+				if !after.Has(bitRetract) {
+					pass.Reportf(ev.Pos, "fence order: a path from this critical-section body reaches return without retracting the reader flag; the slot stays published after the read completes")
+				}
+			}
+		})
+	}
+}

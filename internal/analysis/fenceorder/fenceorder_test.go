@@ -1,0 +1,12 @@
+package fenceorder_test
+
+import (
+	"testing"
+
+	"sprwl/internal/analysis/analysistest"
+	"sprwl/internal/analysis/fenceorder"
+)
+
+func TestFenceOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", fenceorder.Analyzer, "corefence")
+}

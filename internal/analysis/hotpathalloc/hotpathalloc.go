@@ -18,14 +18,30 @@
 // (call arguments and assignments); any call into package fmt; and the
 // print/println builtins.
 //
-// Limits, by design: dynamic calls (interface methods and func values) are
-// not followed — keep hot paths concrete, and back the static guarantee
-// with testing.AllocsPerRun regression tests (see TestEmitAllocs,
-// TestTxFastPathAllocs, TestReadWriteAllocs). Arguments of panic calls are
-// skipped: unwinding is already the exceptional, allocation-tolerant path.
-// Amortized growth that is provably allocation-free in steady state is
-// suppressed at the site with //sprwl:allow(hotpathalloc) plus a
-// justification.
+// Two amortized/non-escaping patterns are recognized and exempted rather
+// than suppressed at each site:
+//
+//   - a function literal consumed in place — the operand of a defer
+//     statement or an immediately-invoked call — does not escape, so the
+//     compiler keeps the closure context on the stack (the deferred
+//     recover block is the canonical case);
+//   - a self-append x = append(x, e) to storage whose only other
+//     assignments in the package are self-truncations (x = x[:n]) or make
+//     preallocations: steady-state growth is allocation-free once the
+//     backing array has reached its high-water mark, and the truncation
+//     reset is the in-source evidence of that discipline. A make on a hot
+//     path is still reported by its own rule.
+//
+// Calls through stored function values are followed when the call graph
+// resolves them completely (a struct field or variable bound to a known
+// set of literals or functions); incomplete resolutions — parameters,
+// interface methods, laundered values — are skipped, so keep hot paths
+// concrete and back the static guarantee with testing.AllocsPerRun
+// regression tests (see TestEmitAllocs, TestTxFastPathAllocs,
+// TestReadWriteAllocs). Arguments of panic calls are skipped: unwinding is
+// already the exceptional, allocation-tolerant path. Anything else that is
+// deliberate is suppressed at the site with //sprwl:allow(hotpathalloc)
+// plus a justification.
 package hotpathalloc
 
 import (
@@ -36,6 +52,8 @@ import (
 	"sort"
 	"strings"
 
+	"sprwl/internal/analysis/astq"
+	"sprwl/internal/analysis/callgraph"
 	"sprwl/internal/analysis/driver"
 )
 
@@ -47,22 +65,40 @@ var Analyzer = &driver.Analyzer{
 }
 
 func run(pass *driver.Pass) error {
+	c := &checker{
+		pass:         pass,
+		cg:           callgraph.Build(pass.Prog, []*driver.Package{pass.Pkg}),
+		visited:      make(map[*types.Func]bool),
+		visitedLit:   make(map[*ast.FuncLit]bool),
+		amortized:    make(map[*types.Var]bool),
+		exemptAppend: make(map[*ast.CallExpr]bool),
+	}
 	for _, f := range pass.Pkg.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !driver.HasDirective(fd.Doc, "hotpath") {
 				continue
 			}
-			c := &checker{pass: pass, visited: make(map[*types.Func]bool)}
-			c.checkFunc(pass.Pkg, fd, []string{funcName(pass.Pkg, fd)})
+			c.visited = make(map[*types.Func]bool)
+			c.visitedLit = make(map[*ast.FuncLit]bool)
+			c.walk(pass.Pkg, fd.Body, []string{funcName(pass.Pkg, fd)})
 		}
 	}
 	return nil
 }
 
 type checker struct {
-	pass    *driver.Pass
-	visited map[*types.Func]bool
+	pass       *driver.Pass
+	cg         *callgraph.Graph
+	visited    map[*types.Func]bool
+	visitedLit map[*ast.FuncLit]bool
+	// amortized memoizes the package-wide assignment audit behind the
+	// self-append exemption, keyed by the appended-to storage object.
+	amortized map[*types.Var]bool
+	// exemptAppend marks append calls recognized as amortized self-appends.
+	// The walk visits the enclosing assignment before the call, so the
+	// entry is always in place when checkCall reaches the append.
+	exemptAppend map[*ast.CallExpr]bool
 }
 
 func funcName(pkg *driver.Package, fd *ast.FuncDecl) string {
@@ -87,10 +123,6 @@ func recvTypeName(t ast.Expr) string {
 	return ""
 }
 
-func (c *checker) checkFunc(pkg *driver.Package, fd *ast.FuncDecl, chain []string) {
-	c.walk(pkg, fd.Body, chain)
-}
-
 // follow descends into a statically-resolved callee declared in a loaded
 // (module) package.
 func (c *checker) follow(fn *types.Func, chain []string) {
@@ -102,7 +134,18 @@ func (c *checker) follow(fn *types.Func, chain []string) {
 	if !ok || src.Decl.Body == nil {
 		return
 	}
-	c.checkFunc(src.Pkg, src.Decl, append(chain, funcName(src.Pkg, src.Decl)))
+	c.walk(src.Pkg, src.Decl.Body, append(chain, funcName(src.Pkg, src.Decl)))
+}
+
+// followLit descends into a function literal reached through a stored
+// function value the call graph resolved.
+func (c *checker) followLit(pkg *driver.Package, lit *ast.FuncLit, chain []string) {
+	if c.visitedLit[lit] {
+		return
+	}
+	c.visitedLit[lit] = true
+	name := fmt.Sprintf("%s.func:%d", pkg.Name, c.pass.Fset.Position(lit.Pos()).Line)
+	c.walk(pkg, lit.Body, append(chain, name))
 }
 
 func (c *checker) report(chain []string, pos token.Pos, format string, args ...any) {
@@ -115,11 +158,27 @@ func (c *checker) report(chain []string, pos token.Pos, format string, args ...a
 
 func (c *checker) walk(pkg *driver.Package, root ast.Node, chain []string) {
 	info := pkg.Info
+	// inPlace marks literals consumed where they appear (deferred or
+	// immediately invoked): they do not escape, so the closure context is
+	// stack-allocated. The consumer node is always visited before the
+	// literal itself.
+	inPlace := make(map[*ast.FuncLit]bool)
 	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit := astq.FuncLit(n.Call.Fun); lit != nil {
+				inPlace[lit] = true
+			}
 		case *ast.CallExpr:
-			return c.checkCall(pkg, n, chain)
+			if lit := astq.FuncLit(n.Fun); lit != nil {
+				inPlace[lit] = true
+			}
+			return c.checkCall(pkg, n, root, chain)
 		case *ast.FuncLit:
+			c.visitedLit[n] = true
+			if inPlace[n] {
+				return true
+			}
 			if caps := captures(info, n); len(caps) > 0 {
 				c.report(chain, n.Pos(), "function literal captures %s (closure allocates)", strings.Join(caps, ", "))
 			}
@@ -137,7 +196,7 @@ func (c *checker) walk(pkg *driver.Package, root ast.Node, chain []string) {
 				}
 			}
 		case *ast.AssignStmt:
-			c.checkAssign(info, n, chain)
+			c.checkAssign(pkg, n, chain)
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD {
 				if b, ok := info.Types[n.X].Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
@@ -151,10 +210,10 @@ func (c *checker) walk(pkg *driver.Package, root ast.Node, chain []string) {
 	})
 }
 
-// checkCall handles builtins, conversions, static callees and
-// interface-boxing arguments. It returns false when the subtree must not
-// be descended into (panic arguments).
-func (c *checker) checkCall(pkg *driver.Package, call *ast.CallExpr, chain []string) bool {
+// checkCall handles builtins, conversions, static and graph-resolved
+// callees, and interface-boxing arguments. It returns false when the
+// subtree must not be descended into (panic arguments).
+func (c *checker) checkCall(pkg *driver.Package, call *ast.CallExpr, root ast.Node, chain []string) bool {
 	info := pkg.Info
 
 	// Conversions: string<->[]byte/[]rune copy; conversion to interface
@@ -172,7 +231,9 @@ func (c *checker) checkCall(pkg *driver.Package, call *ast.CallExpr, chain []str
 			case "new":
 				c.report(chain, call.Pos(), "new allocates")
 			case "append":
-				c.report(chain, call.Pos(), "append may grow and allocate")
+				if !c.exemptAppend[call] {
+					c.report(chain, call.Pos(), "append may grow and allocate")
+				}
 			case "print", "println":
 				c.report(chain, call.Pos(), "%s allocates and is not for hot paths", b.Name())
 			case "panic":
@@ -185,18 +246,47 @@ func (c *checker) checkCall(pkg *driver.Package, call *ast.CallExpr, chain []str
 		}
 	}
 
-	fn := calleeFunc(info, call)
-	if fn != nil && fn.Pkg() != nil {
-		switch {
-		case fn.Pkg().Path() == "fmt":
-			c.report(chain, call.Pos(), "call to fmt.%s allocates (formatting, boxing)", fn.Name())
-			return true // boxing of its arguments is subsumed
-		default:
-			c.follow(fn, chain)
+	fn := astq.CalleeFunc(info, call)
+	switch {
+	case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt":
+		c.report(chain, call.Pos(), "call to fmt.%s allocates (formatting, boxing)", fn.Name())
+		return true // boxing of its arguments is subsumed
+	case fn != nil && fn.Pkg() != nil:
+		c.follow(fn, chain)
+	case astq.FuncLit(call.Fun) == nil:
+		// A call through a stored function value: follow the callees when
+		// the graph resolves the storage completely. (An immediately
+		// invoked literal is already inside this walk.)
+		if callees, complete := c.cg.ResolveCall(info, call); complete {
+			for _, callee := range callees {
+				c.followCallee(pkg, root, callee, chain)
+			}
 		}
 	}
 	c.checkArgBoxing(info, call, chain)
 	return true
+}
+
+func (c *checker) followCallee(pkg *driver.Package, root ast.Node, callee callgraph.Callee, chain []string) {
+	if callee.Lit != nil {
+		// A literal lexically inside the current walk root is already
+		// being inspected; following it would double-report.
+		if callee.Lit.Pos() >= root.Pos() && callee.Lit.End() <= root.End() {
+			return
+		}
+		litPkg := callee.Pkg
+		if litPkg == nil {
+			litPkg = pkg
+		}
+		c.followLit(litPkg, callee.Lit, chain)
+		return
+	}
+	if callee.Func != nil && callee.Func.Pkg() != nil {
+		if callee.Func.Pkg().Path() == "fmt" {
+			return // reported at direct call sites; a stored fmt func is cold-path wiring
+		}
+		c.follow(callee.Func, chain)
+	}
 }
 
 func (c *checker) checkConversion(info *types.Info, target types.Type, call *ast.CallExpr, chain []string) {
@@ -221,13 +311,27 @@ func (c *checker) checkConversion(info *types.Info, target types.Type, call *ast
 	}
 }
 
-func (c *checker) checkAssign(info *types.Info, as *ast.AssignStmt, chain []string) {
+func (c *checker) checkAssign(pkg *driver.Package, as *ast.AssignStmt, chain []string) {
+	info := pkg.Info
 	// Map element writes may allocate (and the hot paths were de-mapped
 	// deliberately — see DESIGN.md §7).
 	for _, lhs := range as.Lhs {
 		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
 			if _, ok := info.Types[ix.X].Type.Underlying().(*types.Map); ok {
 				c.report(chain, lhs.Pos(), "map assignment may allocate")
+			}
+		}
+	}
+	// Amortized self-append: x = append(x, ...) to storage whose only
+	// other package assignments are truncations or make preallocations.
+	if as.Tok == token.ASSIGN && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isAppend(info, call) || len(call.Args) == 0 {
+				continue
+			}
+			if samePath(info, lhs, call.Args[0]) && c.amortizedStorage(pkg, lhsStorage(info, lhs)) {
+				c.exemptAppend[call] = true
 			}
 		}
 	}
@@ -243,6 +347,139 @@ func (c *checker) checkAssign(info *types.Info, as *ast.AssignStmt, chain []stri
 	}
 }
 
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// samePath reports whether a and b are the same access path: the same
+// variable, or the same field selected from the same path.
+func samePath(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		xo, yo := identObj(info, x), identObj(info, y)
+		return xo != nil && xo == yo
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		xo, yo := identObj(info, x.Sel), identObj(info, y.Sel)
+		return xo != nil && xo == yo && samePath(info, x.X, y.X)
+	}
+	return false
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// lhsStorage resolves an assignment target to the variable or struct field
+// object it writes (fields merge across instances).
+func lhsStorage(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := identObj(info, x).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj().(*types.Var)
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && astq.IsPackageLevel(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// amortizedStorage audits every package assignment to v and reports
+// whether the self-append discipline holds: all assignments are
+// self-appends, self-truncations (v = v[:n]) or make preallocations, and
+// at least one truncation or make is present as evidence of the reset /
+// preallocate pattern. Anything else — rebinding to a fresh slice, a
+// multi-value assignment — defeats amortization.
+func (c *checker) amortizedStorage(pkg *driver.Package, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	if ok, done := c.amortized[v]; done || ok {
+		return ok
+	}
+	info := pkg.Info
+	selfOnly, evidence := true, false
+	for _, f := range pkg.Files {
+		if !selfOnly {
+			break
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || !selfOnly {
+				return selfOnly
+			}
+			for i, lhs := range as.Lhs {
+				if lhsStorage(info, lhs) != v {
+					continue
+				}
+				if as.Tok == token.DEFINE {
+					continue // a local shadow, not this storage
+				}
+				if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+					selfOnly = false
+					return false
+				}
+				switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+				case *ast.CallExpr:
+					switch {
+					case isAppend(info, rhs) && len(rhs.Args) > 0 && samePath(info, lhs, rhs.Args[0]):
+						// self-append: the pattern under audit
+					case isMake(info, rhs):
+						evidence = true
+					default:
+						selfOnly = false
+						return false
+					}
+				case *ast.SliceExpr:
+					if samePath(info, lhs, rhs.X) {
+						evidence = true
+					} else {
+						selfOnly = false
+						return false
+					}
+				default:
+					selfOnly = false
+					return false
+				}
+			}
+			return true
+		})
+	}
+	result := selfOnly && evidence
+	c.amortized[v] = result
+	return result
+}
+
+func isMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
+}
+
 // checkArgBoxing reports non-pointer concrete values passed to
 // interface-typed parameters.
 func (c *checker) checkArgBoxing(info *types.Info, call *ast.CallExpr, chain []string) {
@@ -253,7 +490,7 @@ func (c *checker) checkArgBoxing(info *types.Info, call *ast.CallExpr, chain []s
 	sig, ok := tv.Type.Underlying().(*types.Signature)
 	if ok {
 		for i, arg := range call.Args {
-			pt := paramType(sig, i, call.Ellipsis != token.NoPos)
+			pt := astq.ParamType(sig, i, call.Ellipsis != token.NoPos)
 			at := info.Types[arg].Type
 			if pt == nil || at == nil {
 				continue
@@ -263,27 +500,6 @@ func (c *checker) checkArgBoxing(info *types.Info, call *ast.CallExpr, chain []s
 			}
 		}
 	}
-}
-
-func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
-	params := sig.Params()
-	n := params.Len()
-	if n == 0 {
-		return nil
-	}
-	if sig.Variadic() && i >= n-1 {
-		if ellipsis {
-			return params.At(n - 1).Type()
-		}
-		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
-			return s.Elem()
-		}
-		return nil
-	}
-	if i < n {
-		return params.At(i).Type()
-	}
-	return nil
 }
 
 // boxes reports whether storing a value of type t into an interface
@@ -315,13 +531,10 @@ func captures(info *types.Info, lit *ast.FuncLit) []string {
 			return true
 		}
 		v, ok := info.Uses[id].(*types.Var)
-		if !ok || v.IsField() || seen[v] {
-			return true
+		if !ok || seen[v] || astq.IsPackageLevel(v) || v.Pkg() == nil {
+			return true // package-level: shared, not captured
 		}
-		if v.Pkg() == nil || (v.Parent() != nil && v.Parent() == v.Pkg().Scope()) {
-			return true // package-level: no capture
-		}
-		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+		if astq.CapturedBy(v, lit) {
 			seen[v] = true
 			names = append(names, v.Name())
 		}
@@ -329,25 +542,4 @@ func captures(info *types.Info, lit *ast.FuncLit) []string {
 	})
 	sort.Strings(names)
 	return names
-}
-
-// calleeFunc resolves a call's static callee: package functions and
-// methods with concrete receivers. Interface methods and func values
-// return nil.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		if sel := info.Selections[fun]; sel != nil {
-			if sel.Kind() == types.MethodVal && !types.IsInterface(sel.Recv()) {
-				return sel.Obj().(*types.Func)
-			}
-			return nil
-		}
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
 }

@@ -12,7 +12,7 @@ var sink any
 
 //sprwl:hotpath
 func Bad(n int, buf []byte) string {
-	b := make([]byte, n)         // want `make allocates`
+	b := make([]byte, n)         // want 7:`make allocates`
 	m := map[int]int{}           // want `map literal allocates`
 	m[n] = n                     // want `map assignment may allocate`
 	p := new(int)                // want `new allocates`
@@ -61,4 +61,69 @@ func Guard(ok bool) {
 	if !ok {
 		panic(fmt.Sprintf("guard failed"))
 	}
+}
+
+// InPlace shows the consumed-in-place exemption: deferred and immediately
+// invoked literals do not escape, so their captures stay on the stack and
+// no closure allocation is reported. Allocations inside them still count.
+//
+//sprwl:hotpath
+func InPlace(n int) (out int) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = n
+		}
+	}()
+	func() {
+		out += n
+	}()
+	func() {
+		_ = make([]byte, n) // want `make allocates`
+	}()
+	return out
+}
+
+// ring exercises the amortized self-append audit and call-graph following
+// through a stored function value.
+type ring struct {
+	buf  []uint64
+	log  []uint64
+	hook func()
+}
+
+func newRing() *ring {
+	r := &ring{}
+	r.buf = make([]uint64, 0, 64)
+	r.hook = func() {
+		_ = make([]uint64, 8) // want `make allocates \(reached via hot\.ring\.fire -> hot\.func:\d+\)`
+	}
+	return r
+}
+
+func (r *ring) reset() { r.buf = r.buf[:0] }
+
+func (r *ring) swap(fresh []uint64) { r.log = fresh }
+
+// add's self-append is amortized: reset truncates and newRing
+// preallocates, so steady-state growth never allocates. Not reported.
+//
+//sprwl:hotpath
+func (r *ring) add(v uint64) {
+	r.buf = append(r.buf, v)
+}
+
+// addLog's storage is rebound to a fresh slice in swap, so the growth is
+// not amortized and the append is still reported.
+//
+//sprwl:hotpath
+func (r *ring) addLog(v uint64) {
+	r.log = append(r.log, v) // want `append may grow and allocate`
+}
+
+// fire calls through a struct-field function value bound exactly once in
+// newRing; the call graph resolves it and the literal's body is walked.
+//
+//sprwl:hotpath
+func (r *ring) fire() {
+	r.hook()
 }

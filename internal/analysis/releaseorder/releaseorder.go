@@ -29,10 +29,11 @@
 //     model and the instrumentation (typed atomic.Uint64-style method
 //     calls on auxiliary Go-side state are fine and are not matched).
 //
-// Matching is structural — by the address-family helper names (stateAddr,
-// clockWAddr, clockRAddr, waitingForAddr, readerVerAddr, glVer) and the
-// env method names (Load/Store) — so the analyzer also works on reduced
-// test fixtures. Deliberate exceptions carry //sprwl:allow(releaseorder).
+// Event recognition lives in the shared coreevent classifier (also used by
+// the flow-sensitive fenceorder analyzer); this package keeps the cheap
+// straight-line source-order rules, which catch transposed statements even
+// in code the CFG-based checker scopes out. Deliberate exceptions carry
+// //sprwl:allow(releaseorder).
 package releaseorder
 
 import (
@@ -40,8 +41,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 
+	"sprwl/internal/analysis/coreevent"
 	"sprwl/internal/analysis/driver"
 )
 
@@ -50,56 +51,6 @@ var Analyzer = &driver.Analyzer{
 	Name: "releaseorder",
 	Doc:  "enforce the core protocol's documented store-ordering fence points",
 	Run:  run,
-}
-
-type eventKind int
-
-const (
-	evStore   eventKind = iota // env Store to a protocol word
-	evLoad                     // env Load of a protocol word
-	evFlag                     // flagReader / arriveIn
-	evRetract                  // unflagReader / departFrom
-	evBody                     // invocation of an rwlock.Body value
-	evAtomic                   // sync/atomic function call
-)
-
-// family identifies which protocol word an env access touches.
-type family string
-
-const (
-	famState     family = "state"
-	famClockW    family = "clockW"
-	famClockR    family = "clockR"
-	famWaiting   family = "waitingFor"
-	famReaderVer family = "readerVer"
-	famGLVer     family = "glVer"
-	famOther     family = ""
-)
-
-var addrFamilies = map[string]family{
-	"stateAddr":      famState,
-	"clockWAddr":     famClockW,
-	"clockRAddr":     famClockR,
-	"waitingForAddr": famWaiting,
-	"readerVerAddr":  famReaderVer,
-}
-
-// valClass classifies the stored value where the rules care about it.
-type valClass int
-
-const (
-	valOther valClass = iota
-	valZero
-	valStateWriter
-	valStateEmpty
-)
-
-type event struct {
-	kind eventKind
-	fam  family
-	val  valClass
-	pos  token.Pos
-	name string // callee name, for diagnostics
 }
 
 func run(pass *driver.Pass) error {
@@ -123,204 +74,83 @@ func run(pass *driver.Pass) error {
 }
 
 func checkFunc(pass *driver.Pass, info *types.Info, fd *ast.FuncDecl) {
-	var events []event
+	var events []coreevent.Event
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if ev, ok := classify(info, call); ok {
+		if ev, ok := coreevent.Classify(info, call); ok {
 			events = append(events, ev)
 		}
 		return true
 	})
 	// Source order, including events inside nested literals (retry-attempt
 	// closures are part of the same protocol sequence).
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	sort.Slice(events, func(i, j int) bool { return events[i].Pos < events[j].Pos })
 
 	var (
 		lastBody       token.Pos = token.NoPos
 		firstFlag      token.Pos = token.NoPos
 		firstClockW    token.Pos = token.NoPos
-		firstAdvertise *event
+		firstAdvertise *coreevent.Event
 	)
 	for i := range events {
 		ev := &events[i]
 		switch {
-		case ev.kind == evBody:
-			lastBody = ev.pos
-		case ev.kind == evFlag && firstFlag == token.NoPos:
-			firstFlag = ev.pos
-		case ev.kind == evStore && ev.fam == famClockW && firstClockW == token.NoPos:
-			firstClockW = ev.pos
-		case ev.kind == evStore && ev.fam == famState && ev.val == valStateWriter && firstAdvertise == nil:
+		case ev.Kind == coreevent.Body:
+			lastBody = ev.Pos
+		case ev.Kind == coreevent.Flag && firstFlag == token.NoPos:
+			firstFlag = ev.Pos
+		case ev.Kind == coreevent.Store && ev.Fam == coreevent.FamClockW && firstClockW == token.NoPos:
+			firstClockW = ev.Pos
+		case ev.Kind == coreevent.Store && ev.Fam == coreevent.FamState && ev.Val == coreevent.ValStateWriter && firstAdvertise == nil:
 			firstAdvertise = ev
 		}
 	}
 
 	for i := range events {
 		ev := &events[i]
-		switch ev.kind {
-		case evRetract:
+		switch ev.Kind {
+		case coreevent.Retract:
 			// Rule A: reader release order.
-			if lastBody != token.NoPos && ev.pos < lastBody {
-				pass.Reportf(ev.pos, "release order: %s retracts the reader flag before the critical-section body runs; the reader must stay visible to writers until the body completes", ev.name)
+			if lastBody != token.NoPos && ev.Pos < lastBody {
+				pass.Reportf(ev.Pos, "release order: %s retracts the reader flag before the critical-section body runs; the reader must stay visible to writers until the body completes", ev.Name)
 			}
-		case evStore:
+		case coreevent.Store:
 			switch {
-			case ev.fam == famState && ev.val == valStateEmpty:
+			case ev.Fam == coreevent.FamState && ev.Val == coreevent.ValStateEmpty:
 				// stateEmpty is also a retract (writer finish / reader
 				// slot release).
-				if lastBody != token.NoPos && ev.pos < lastBody {
-					pass.Reportf(ev.pos, "release order: state slot is cleared to stateEmpty before the critical-section body runs; the slot must stay published until the body completes")
+				if lastBody != token.NoPos && ev.Pos < lastBody {
+					pass.Reportf(ev.Pos, "release order: state slot is cleared to stateEmpty before the critical-section body runs; the slot must stay published until the body completes")
 				}
-			case ev.fam == famState && ev.val == valStateWriter:
+			case ev.Fam == coreevent.FamState && ev.Val == coreevent.ValStateWriter:
 				// Rule B: clockW before stateWriter.
-				if firstClockW != token.NoPos && ev.pos < firstClockW {
-					pass.Reportf(ev.pos, "release order: stateWriter is advertised before the writer clock (clockW) store; readers would observe an active writer with a stale clock")
+				if firstClockW != token.NoPos && ev.Pos < firstClockW {
+					pass.Reportf(ev.Pos, "release order: stateWriter is advertised before the writer clock (clockW) store; readers would observe an active writer with a stale clock")
 				}
-			case ev.fam == famReaderVer && ev.val == valZero:
+			case ev.Fam == coreevent.FamReaderVer && ev.Val == coreevent.ValZero:
 				// Rule C: retire only after flagging.
-				if firstFlag != token.NoPos && ev.pos < firstFlag {
-					pass.Reportf(ev.pos, "release order: readerVer is retired (stored zero) before the reader is flagged; neither the version word nor the flag covers the reader in between")
+				if firstFlag != token.NoPos && ev.Pos < firstFlag {
+					pass.Reportf(ev.Pos, "release order: readerVer is retired (stored zero) before the reader is flagged; neither the version word nor the flag covers the reader in between")
 				}
-			case ev.fam == famReaderVer && ev.val != valZero:
+			case ev.Fam == coreevent.FamReaderVer && ev.Val != coreevent.ValZero:
 				// Rule D: registration must be validated.
 				validated := false
 				for j := range events {
-					if events[j].kind == evLoad && events[j].fam == famGLVer && events[j].pos > ev.pos {
+					if events[j].Kind == coreevent.Load && events[j].Fam == coreevent.FamGLVer && events[j].Pos > ev.Pos {
 						validated = true
 						break
 					}
 				}
 				if !validated {
-					pass.Reportf(ev.pos, "release order: readerVer registration is not followed by a glVer validation load in this function (unsafe lazy subscription)")
+					pass.Reportf(ev.Pos, "release order: readerVer registration is not followed by a glVer validation load in this function (unsafe lazy subscription)")
 				}
 			}
-		case evAtomic:
+		case coreevent.Atomic:
 			// Rule E: no raw sync/atomic in core.
-			pass.Reportf(ev.pos, "release order: direct sync/atomic call %s in core bypasses the simulated memory model; protocol state must use the env Load/Store/CAS/Add API", ev.name)
+			pass.Reportf(ev.Pos, "release order: direct sync/atomic call %s in core bypasses the simulated memory model; protocol state must use the env Load/Store/CAS/Add API", ev.Name)
 		}
 	}
-}
-
-// classify maps a call expression to a protocol event, if it is one.
-func classify(info *types.Info, call *ast.CallExpr) (event, bool) {
-	name := calleeName(call)
-	switch name {
-	case "flagReader", "arriveIn":
-		return event{kind: evFlag, pos: call.Pos(), name: name}, true
-	case "unflagReader", "departFrom":
-		return event{kind: evRetract, pos: call.Pos(), name: name}, true
-	case "Store":
-		if len(call.Args) == 2 {
-			if fam := addrFamily(call.Args[0]); fam != famOther {
-				return event{kind: evStore, fam: fam, val: classifyValue(call.Args[1]), pos: call.Pos(), name: name}, true
-			}
-		}
-	case "Load":
-		if len(call.Args) == 1 {
-			if fam := addrFamily(call.Args[0]); fam != famOther {
-				return event{kind: evLoad, fam: fam, pos: call.Pos(), name: name}, true
-			}
-		}
-	}
-	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
-		// Package-level functions only: typed-atomic methods
-		// (atomic.Uint64.Add) have a receiver and operate on auxiliary
-		// Go-side state, which is allowed.
-		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
-			return event{kind: evAtomic, pos: call.Pos(), name: "atomic." + fn.Name()}, true
-		}
-	}
-	if t := typeOfExpr(info, call.Fun); t != nil && isBodyType(t) {
-		return event{kind: evBody, pos: call.Pos(), name: "body"}, true
-	}
-	return event{}, false
-}
-
-// addrFamily recognizes the address expression of an env access: a call to
-// one of the address-family helpers, or the glVer field/variable.
-func addrFamily(e ast.Expr) family {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.CallExpr:
-		if fam, ok := addrFamilies[calleeName(e)]; ok {
-			return fam
-		}
-	case *ast.SelectorExpr:
-		if e.Sel.Name == "glVer" {
-			return famGLVer
-		}
-	case *ast.Ident:
-		if e.Name == "glVer" {
-			return famGLVer
-		}
-	}
-	return famOther
-}
-
-// classifyValue recognizes the stored values the ordering rules depend on.
-func classifyValue(e ast.Expr) valClass {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		switch e.Name {
-		case "stateWriter":
-			return valStateWriter
-		case "stateEmpty":
-			return valStateEmpty
-		}
-	case *ast.BasicLit:
-		if e.Kind == token.INT && e.Value == "0" {
-			return valZero
-		}
-	}
-	return valOther
-}
-
-// calleeName returns the bare name of the called function or method.
-func calleeName(call *ast.CallExpr) string {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return fun.Name
-	case *ast.SelectorExpr:
-		return fun.Sel.Name
-	}
-	return ""
-}
-
-// isBodyType reports whether t is the rwlock critical-section body type.
-func isBodyType(t types.Type) bool {
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "Body" && obj.Pkg() != nil &&
-		strings.HasSuffix(obj.Pkg().Path(), "internal/rwlock")
-}
-
-func typeOfExpr(info *types.Info, e ast.Expr) types.Type {
-	if tv, ok := info.Types[e]; ok {
-		return tv.Type
-	}
-	return nil
-}
-
-// calleeFunc resolves a call's static callee, or nil for dynamic calls.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		if sel := info.Selections[fun]; sel != nil {
-			if sel.Kind() == types.MethodVal && !types.IsInterface(sel.Recv()) {
-				return sel.Obj().(*types.Func)
-			}
-			return nil
-		}
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
 }

@@ -87,10 +87,8 @@ func (s *lineSet) add(l memmodel.Line) {
 		s.stamps[i] = s.epoch
 		s.slotOf[i] = l
 	} else {
-		//sprwl:allow(hotpathalloc) amortized growth: spill and members keep their backing arrays across attempts (reset truncates to len 0), so steady state never grows
 		s.spill = append(s.spill, l)
 	}
-	//sprwl:allow(hotpathalloc) amortized growth: backing array is retained across attempts by reset
 	s.members = append(s.members, l)
 }
 
@@ -165,9 +163,7 @@ func (w *writeLog) store(a memmodel.Addr, v uint64) {
 		w.vals[w.cidx[i]] = v
 		return
 	}
-	//sprwl:allow(hotpathalloc) amortized growth: addrs/vals are sized by init and truncated (not freed) by reset, so steady state never grows
 	w.addrs = append(w.addrs, a)
-	//sprwl:allow(hotpathalloc) amortized growth: see addrs above
 	w.vals = append(w.vals, v)
 	w.cstamp[i] = w.epoch
 	w.caddr[i] = a

@@ -371,7 +371,6 @@ func (t *Tx) cleanup() {
 func (s *Space) Attempt(slot int, opts env.TxOpts, body func(tx env.TxAccessor)) (cause env.AbortCause) {
 	t := &s.txs[slot]
 	t.begin(opts)
-	//sprwl:allow(hotpathalloc) one closure per Attempt is the recover scope itself; Go offers no closure-free recover, and the capture is two words amortized against a full transaction attempt
 	defer func() {
 		if r := recover(); r != nil {
 			ap, ok := r.(abortPanic)

@@ -160,17 +160,15 @@ func readersOverlap(t *testing.T, f Factory, cfg Config) {
 				// hardware attempt has no abort point inside it and the
 				// Add(+1)/Add(-1) pair always runs to completion.
 				h.Read(0, func(acc memmodel.Accessor) {
-					//sprwl:allow(bodyidempotent) concurrency probe; see above
+					//sprwl:allow(bodyidempotent) deliberate: the overlap counter must tick on every execution, committed or not — re-execution noise only ever raises maxActive toward the value the test asserts
 					n := active.Add(1)
-					//sprwl:allow(bodyidempotent) concurrency probe; see above
+					//sprwl:allow(bodyidempotent) deliberate: max-tracking CAS loop on the probe counter; monotone, so replays cannot corrupt the verdict
 					for o := maxActive.Load(); n > o; o = maxActive.Load() {
-						//sprwl:allow(bodyidempotent) concurrency probe; see above
 						if maxActive.CompareAndSwap(o, n) {
 							break
 						}
 					}
 					runtime.Gosched()
-					//sprwl:allow(bodyidempotent) concurrency probe; see above
 					active.Add(-1)
 				})
 			}
