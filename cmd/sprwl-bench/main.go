@@ -45,7 +45,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "fig3", "experiment to run: fig3|fig4|fig5|fig6|fig7|extscan|extauto|extvsgl|all")
+		exp      = flag.String("exp", "fig3", "experiment to run: fig3|fig4|fig5|fig6|fig7|extscan|extauto|extvsgl|all, or readers (wall-clock, not part of all)")
 		profile  = flag.String("profile", "broadwell", "machine profile: broadwell|power8")
 		quick    = flag.Bool("quick", false, "thin sweeps and shorten horizons (smoke run)")
 		horizon  = flag.Uint64("horizon", 0, "virtual cycles per data point (0 = default)")
@@ -110,6 +110,33 @@ func run() error {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
+	if *exp == "readers" {
+		// Wall-clock sweep on the real runtime: machine-dependent, so it
+		// is not part of -exp all or the -compare regression gate.
+		rep, err := harness.ReadersSweep(opts)
+		if err != nil {
+			return err
+		}
+		rep.Format(os.Stdout)
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			rep.CSV(f)
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return harness.WriteJSON(f, []*harness.Report{rep})
+		}
+		return nil
+	}
+
 	experiments := harness.Experiments()
 	var ids []string
 	if *exp == "all" {
@@ -119,7 +146,7 @@ func run() error {
 		sort.Strings(ids)
 	} else {
 		if _, ok := experiments[*exp]; !ok {
-			return fmt.Errorf("unknown experiment %q (want fig3..fig7 or all)", *exp)
+			return fmt.Errorf("unknown experiment %q (want fig3..fig7, readers, or all)", *exp)
 		}
 		ids = []string{*exp}
 	}

@@ -5,45 +5,65 @@ import (
 	"sync/atomic"
 
 	"sprwl/internal/env"
+	"sprwl/internal/obs"
+	"sprwl/internal/readers"
 )
 
 // Self-tuning reader tracking (the paper's §5 future-work item): Fig. 6
 // shows SNZI tracking wins by up to ~6× for long readers and loses by up to
 // ~6× for short ones, and the authors propose automatically enabling and
 // disabling it. With Options.AutoSNZI the lock measures reader durations
-// and switches the *tracking structure* at runtime.
+// and switches the *tracking structure* at runtime, promoting and demoting
+// across all three backends of package readers:
+//
+//	FLAGS  — cheapest arrival (one store), O(threads) commit check;
+//	BRAVO  — one-CAS arrival, O(table slots) commit check, and the only
+//	         flag-style structure safe for dynamic (slot-less) readers;
+//	SNZI   — one-line commit check, O(log n) arrival.
 //
 // The mode lives in a simulated-memory word so writers can subscribe to it
-// transactionally. Because readers read the mode and then flag — and a
-// writer may check in between — switching uses a three-phase protocol:
+// transactionally. The word packs the target backend (which structure new
+// readers flag in) and, during a transition, the structure being drained:
 //
-//	FLAGS ──→ toSNZI ──→ SNZI ──→ toFLAGS ──→ FLAGS …
+//	mode = target | (draining+1)<<drainShift    // draining absent: steady
 //
-// During a transition phase, writers (commit check and fallback drain)
-// check BOTH structures; new readers already use the target structure; the
-// controller advances out of the transition only after the old structure
-// has drained. A reader additionally re-validates the mode after flagging
-// and re-flags if the structure it used is no longer covered — so at every
-// instant an active reader is visible to every checking writer.
+// Because readers read the mode and then flag — and a writer may check in
+// between — switching is three-phase: the controller stores the transition
+// word (new readers now use the target; writers check BOTH structures),
+// waits for the old structure to drain, then stores the steady word. A
+// reader additionally re-validates the mode after flagging and re-flags if
+// the structure it used is no longer covered — so at every instant an
+// active reader is visible to every checking writer.
 const (
-	modeFlags uint64 = iota
-	modeSNZI
-	modeToSNZI
-	modeToFlags
+	backendFlags uint64 = 0
+	backendSNZI  uint64 = 1
+	backendBravo uint64 = 2
+
+	backendMask uint64 = 3
+	drainShift         = 2
 )
 
 // trackTarget returns the structure new readers should use under mode m.
-func trackTarget(m uint64) uint64 {
-	if m == modeSNZI || m == modeToSNZI {
-		return modeSNZI
-	}
-	return modeFlags
+func trackTarget(m uint64) uint64 { return m & backendMask }
+
+// drainingBackend returns the structure a transition is draining, if m is
+// a transition word.
+func drainingBackend(m uint64) (uint64, bool) {
+	d := m >> drainShift
+	return d - 1, d != 0
 }
+
+// transitionMode packs the transition word draining `from` into `to`.
+func transitionMode(to, from uint64) uint64 { return to | (from+1)<<drainShift }
 
 // covered reports whether a reader flagged in structure s is visible to
 // writers under mode m.
 func covered(s, m uint64) bool {
-	return s == trackTarget(m) || m == modeToSNZI || m == modeToFlags
+	if s == trackTarget(m) {
+		return true
+	}
+	d, ok := drainingBackend(m)
+	return ok && s == d
 }
 
 // adaptState is the controller's Go-side state (library-internal, like the
@@ -54,7 +74,23 @@ type adaptState struct {
 	readerEMA atomic.Uint64
 	// reads counts sampled reads, to pace controller evaluations.
 	reads atomic.Uint64
+	// mu serializes tracking transitions: the paced controller and
+	// NewDynamicHandle's one-shot flags eviction must not interleave
+	// their three-phase switches.
+	mu nbMutex
 }
+
+// nbMutex is a CAS mutex with a non-blocking TryLock, so the paced
+// controller can skip an evaluation instead of stalling a reader behind a
+// transition already in flight.
+type nbMutex struct{ held atomic.Uint32 }
+
+func (m *nbMutex) TryLock() bool { return m.held.CompareAndSwap(0, 1) }
+func (m *nbMutex) Lock() {
+	for !m.held.CompareAndSwap(0, 1) {
+	}
+}
+func (m *nbMutex) Unlock() { m.held.Store(0) }
 
 const (
 	// adaptEvery paces controller evaluations (sampled reads between
@@ -62,9 +98,14 @@ const (
 	adaptEvery = 32
 	// adaptAlpha is the reader-duration EMA weight.
 	adaptAlpha = 0.25
-	// adaptHysteresis avoids mode flapping: switch back only below
-	// threshold/adaptHysteresis.
+	// adaptHysteresis avoids mode flapping: demote only below the
+	// promotion threshold divided by adaptHysteresis.
 	adaptHysteresis = 2
+	// adaptBravoDivisor sets the flags→BRAVO promotion point relative
+	// to AutoSNZIThreshold: BRAVO's commit check is a fraction of the
+	// flag array's (table slots vs. registered threads), so it pays off
+	// at proportionally shorter reader durations than SNZI does.
+	adaptBravoDivisor = 4
 )
 
 // DefaultAutoSNZIThreshold is the reader duration (cycles) above which SNZI
@@ -73,8 +114,8 @@ const (
 // cycles is that point under the simulator's default cost model.
 const DefaultAutoSNZIThreshold = 16_384
 
-// recordReaderDuration feeds the controller and, on the sampling thread,
-// periodically evaluates a mode switch.
+// recordReaderDuration feeds the controller and, on a pacing handle (the
+// sampling slot or any dynamic handle), periodically evaluates a switch.
 func (h *handle) recordReaderDuration(cycles uint64) {
 	l := h.l
 	for {
@@ -90,7 +131,7 @@ func (h *handle) recordReaderDuration(cycles uint64) {
 			break
 		}
 	}
-	if h.slot != 0 {
+	if h.slot > 0 {
 		return
 	}
 	if l.adapt.reads.Add(1)%adaptEvery != 0 {
@@ -100,36 +141,78 @@ func (h *handle) recordReaderDuration(cycles uint64) {
 }
 
 // maybeSwitchTracking runs the controller: begin and complete a transition
-// if the measured reader duration crossed the threshold.
+// if the measured reader duration crossed a backend's threshold. With the
+// transition lock busy another switch is in flight; skip this evaluation.
 func (h *handle) maybeSwitchTracking() {
 	l := h.l
+	if !l.adapt.mu.TryLock() {
+		return
+	}
+	defer l.adapt.mu.Unlock()
 	ema := math.Float64frombits(l.adapt.readerEMA.Load())
-	mode := l.e.Load(l.trackMode)
-	switch mode {
-	case modeFlags:
-		if ema > float64(l.opts.AutoSNZIThreshold) {
-			l.e.Store(l.trackMode, modeToSNZI)
-			h.drainFlags()
-			l.e.Store(l.trackMode, modeSNZI)
-		}
-	case modeSNZI:
-		if ema < float64(l.opts.AutoSNZIThreshold)/adaptHysteresis {
-			l.e.Store(l.trackMode, modeToFlags)
-			for l.z.Query() {
-				l.e.Yield()
-			}
-			l.e.Store(l.trackMode, modeFlags)
-		}
+	cur := trackTarget(l.e.Load(l.trackMode))
+	want := l.desiredBackend(cur, ema)
+	if want == backendFlags && l.dynReaders.Load() > 0 {
+		// Dynamic readers carry no slot; the flag array cannot hold
+		// them. BRAVO is the cheap-reader structure that can.
+		want = backendBravo
+	}
+	if want != cur {
+		h.switchTracking(cur, want)
 	}
 }
 
-// drainFlags waits until no reader is flagged in the state array.
-func (h *handle) drainFlags() {
-	l := h.l
-	for i := 0; i < l.threads; i++ {
-		for l.e.Load(l.stateAddr(i)) == stateReader {
-			l.e.Yield()
+// desiredBackend maps the reader-duration EMA to a tracking structure,
+// with hysteresis on demotions relative to the current structure.
+func (l *Lock) desiredBackend(cur uint64, ema float64) uint64 {
+	snziAt := float64(l.opts.AutoSNZIThreshold)
+	bravoAt := snziAt / adaptBravoDivisor
+	switch cur {
+	case backendFlags:
+		if ema > snziAt {
+			return backendSNZI
 		}
+		if ema > bravoAt {
+			return backendBravo
+		}
+	case backendBravo:
+		if ema > snziAt {
+			return backendSNZI
+		}
+		if ema < bravoAt/adaptHysteresis {
+			return backendFlags
+		}
+	case backendSNZI:
+		if ema < snziAt/adaptHysteresis {
+			if ema > bravoAt {
+				return backendBravo
+			}
+			return backendFlags
+		}
+	}
+	return cur
+}
+
+// switchTracking runs the three-phase transition from structure `from` to
+// structure `to`. Caller holds the transition lock.
+func (h *handle) switchTracking(from, to uint64) {
+	l := h.l
+	l.e.Store(l.trackMode, transitionMode(to, from))
+	h.drainBackend(from)
+	l.e.Store(l.trackMode, to)
+	h.ring.Readers(obs.ReadersSwitch, -1, l.e.Now())
+}
+
+// drainBackend waits until no reader is flagged in structure s.
+func (h *handle) drainBackend(s uint64) {
+	l := h.l
+	switch s {
+	case backendSNZI:
+		l.indSNZI.Drain(l.e)
+	case backendBravo:
+		l.indBravo.Drain(l.e)
+	default:
+		l.indFlags.Drain(l.e)
 	}
 }
 
@@ -139,29 +222,47 @@ func (l *Lock) trackingMode() uint64 {
 	switch {
 	case l.opts.AutoSNZI:
 		return l.e.Load(l.trackMode)
+	case l.opts.UseBravo:
+		return backendBravo
 	case l.opts.UseSNZI:
-		return modeSNZI
+		return backendSNZI
 	default:
-		return modeFlags
+		return backendFlags
 	}
 }
 
-// arriveIn flags the reader in structure s.
+// arriveIn flags the reader in structure s, remembering the structure and
+// the backend token so the retract always targets what was used.
+//
+//sprwl:hotpath
 func (h *handle) arriveIn(s uint64) {
-	if s == modeSNZI {
-		h.l.z.Arrive(h.slot)
-	} else {
-		h.l.e.Store(h.l.stateAddr(h.slot), stateReader)
+	l := h.l
+	switch s {
+	case backendSNZI:
+		h.flagToken = l.indSNZI.Arrive(h.hint)
+	case backendBravo:
+		h.flagToken = l.indBravo.Arrive(h.hint)
+		if h.flagToken == readers.OverflowToken && h.ring != nil {
+			h.ring.Readers(obs.ReadersCollision, -1, l.e.Now())
+		}
+	default:
+		h.flagToken = l.indFlags.Arrive(h.hint)
 	}
 	h.flaggedIn = s
 }
 
 // departFrom retracts the reader flag from structure s.
+//
+//sprwl:hotpath
 func (h *handle) departFrom(s uint64) {
-	if s == modeSNZI {
-		h.l.z.Depart(h.slot)
-	} else {
-		h.l.e.Store(h.l.stateAddr(h.slot), stateEmpty)
+	l := h.l
+	switch s {
+	case backendSNZI:
+		l.indSNZI.Depart(h.flagToken)
+	case backendBravo:
+		l.indBravo.Depart(h.flagToken)
+	default:
+		l.indFlags.Depart(h.flagToken)
 	}
 }
 
@@ -170,28 +271,41 @@ func (h *handle) departFrom(s uint64) {
 // covers.
 func (h *handle) checkForReadersAdaptive(tx env.TxAccessor) {
 	l := h.l
-	switch tx.Load(l.trackMode) {
-	case modeFlags:
-		h.checkFlagArray(tx)
-	case modeSNZI:
+	m := tx.Load(l.trackMode)
+	h.checkBackend(tx, trackTarget(m))
+	if d, ok := drainingBackend(m); ok {
+		// Transition: readers may still be flagged in the structure
+		// being drained.
+		h.checkBackend(tx, d)
+	}
+}
+
+// checkBackend aborts the writer if structure s holds an active reader.
+func (h *handle) checkBackend(tx env.TxAccessor, s uint64) {
+	switch s {
+	case backendSNZI:
 		h.checkIndicator(tx)
-	default: // transition: readers may be in either structure
-		h.checkIndicator(tx)
+	case backendBravo:
+		h.checkBravo(tx)
+	default:
 		h.checkFlagArray(tx)
 	}
 }
 
 func (h *handle) checkFlagArray(tx env.TxAccessor) {
-	l := h.l
-	for i := 0; i < l.threads; i++ {
-		if i != h.slot && tx.Load(l.stateAddr(i)) == stateReader {
-			tx.Abort(env.AbortReader)
-		}
+	if h.l.indFlags.Check(tx, h.slot) {
+		tx.Abort(env.AbortReader)
 	}
 }
 
 func (h *handle) checkIndicator(tx env.TxAccessor) {
-	if tx.Load(h.l.z.IndicatorAddr()) != 0 {
+	if h.l.indSNZI.Check(tx, -1) {
+		tx.Abort(env.AbortReader)
+	}
+}
+
+func (h *handle) checkBravo(tx env.TxAccessor) {
+	if h.l.indBravo.Check(tx, -1) {
 		tx.Abort(env.AbortReader)
 	}
 }

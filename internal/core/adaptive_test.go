@@ -24,26 +24,44 @@ func TestAutoName(t *testing.T) {
 }
 
 func TestTrackTargetAndCoverage(t *testing.T) {
-	tests := []struct {
-		mode   uint64
-		target uint64
-	}{
-		{modeFlags, modeFlags},
-		{modeSNZI, modeSNZI},
-		{modeToSNZI, modeSNZI},
-		{modeToFlags, modeFlags},
-	}
-	for _, tt := range tests {
-		if got := trackTarget(tt.mode); got != tt.target {
-			t.Errorf("trackTarget(%d) = %d, want %d", tt.mode, got, tt.target)
+	backends := []uint64{backendFlags, backendSNZI, backendBravo}
+	for _, b := range backends {
+		if got := trackTarget(b); got != b {
+			t.Errorf("trackTarget(%d) = %d, want %d", b, got, b)
+		}
+		if _, ok := drainingBackend(b); ok {
+			t.Errorf("steady mode %d reports a draining structure", b)
 		}
 	}
-	// Transition modes cover both structures; steady modes only their own.
-	if !covered(modeFlags, modeToSNZI) || !covered(modeSNZI, modeToFlags) {
-		t.Fatal("transition modes must cover both structures")
+	// Every transition covers exactly its target and its draining
+	// structure.
+	for _, to := range backends {
+		for _, from := range backends {
+			if to == from {
+				continue
+			}
+			m := transitionMode(to, from)
+			if got := trackTarget(m); got != to {
+				t.Errorf("trackTarget(%d→%d) = %d, want %d", from, to, got, to)
+			}
+			if d, ok := drainingBackend(m); !ok || d != from {
+				t.Errorf("drainingBackend(%d→%d) = %d,%v, want %d,true", from, to, d, ok, from)
+			}
+			for _, s := range backends {
+				want := s == to || s == from
+				if covered(s, m) != want {
+					t.Errorf("covered(%d, %d→%d) = %v, want %v", s, from, to, !want, want)
+				}
+			}
+		}
 	}
-	if covered(modeFlags, modeSNZI) || covered(modeSNZI, modeFlags) {
-		t.Fatal("steady modes must not cover the other structure")
+	// Steady modes only cover their own structure.
+	for _, s := range backends {
+		for _, m := range backends {
+			if covered(s, m) != (s == m) {
+				t.Errorf("covered(%d, steady %d) = %v", s, m, covered(s, m))
+			}
+		}
 	}
 }
 
@@ -78,8 +96,8 @@ func TestAutoSwitchesToSNZIForLongReaders(t *testing.T) {
 	for i := 0; i < adaptEvery+2; i++ {
 		h.Read(0, long)
 	}
-	if got := e.Load(l.trackMode); got != modeSNZI {
-		t.Fatalf("trackMode = %d after long readers, want SNZI (%d)", got, modeSNZI)
+	if got := e.Load(l.trackMode); got != backendSNZI {
+		t.Fatalf("trackMode = %d after long readers, want SNZI (%d)", got, backendSNZI)
 	}
 
 	// And back again for short readers (hysteresis: the calibrated short
@@ -88,8 +106,8 @@ func TestAutoSwitchesToSNZIForLongReaders(t *testing.T) {
 	for i := 0; i < 16*adaptEvery; i++ {
 		h.Read(1, short)
 	}
-	if got := e.Load(l.trackMode); got != modeFlags {
-		t.Fatalf("trackMode = %d after short readers, want flags (%d)", got, modeFlags)
+	if got := e.Load(l.trackMode); got != backendFlags {
+		t.Fatalf("trackMode = %d after short readers, want flags (%d)", got, backendFlags)
 	}
 }
 
@@ -97,7 +115,15 @@ func TestAutoSwitchesToSNZIForLongReaders(t *testing.T) {
 // steady and transition state, an active reader must abort the writer's
 // commit.
 func TestAutoWriterSeesReaderInEitherStructure(t *testing.T) {
-	for _, mode := range []uint64{modeFlags, modeSNZI, modeToSNZI, modeToFlags} {
+	modes := []uint64{backendFlags, backendSNZI, backendBravo}
+	for _, to := range []uint64{backendFlags, backendSNZI, backendBravo} {
+		for _, from := range []uint64{backendFlags, backendSNZI, backendBravo} {
+			if to != from {
+				modes = append(modes, transitionMode(to, from))
+			}
+		}
+	}
+	for _, mode := range modes {
 		opts := autoOpts(1 << 62) // controller never self-triggers
 		opts.ReaderHTMFirst = false
 		l, e, ar, col := testSetup(t, 2, htm.Config{}, opts)
@@ -188,7 +214,7 @@ func TestStaticModesIgnoreModeWord(t *testing.T) {
 	opts := DefaultOptions()
 	opts.ReaderHTMFirst = false
 	l, e, ar, col := testSetup(t, 2, htm.Config{}, opts)
-	e.Store(l.trackMode, modeSNZI) // must be ignored
+	e.Store(l.trackMode, backendSNZI) // must be ignored
 	data := ar.AllocLines(1)
 	h := l.NewHandle(0)
 	h.Read(0, func(acc memmodel.Accessor) { _ = acc.Load(data) })

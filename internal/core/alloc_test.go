@@ -40,3 +40,73 @@ func TestReadWriteCommitPathDoesNotAllocate(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestBravoReadWritePathDoesNotAllocate pins the BRAVO backend's acquire
+// paths: arrival hashing, slot CAS, and the overflow fallback are all
+// in-place on preallocated table lines, so the static read and write paths
+// stay allocation-free just like the flag-array configuration.
+func TestBravoReadWritePathDoesNotAllocate(t *testing.T) {
+	space := htm.MustNewSpace(htm.Config{Threads: 1, Words: 1 << 14})
+	e := htm.NewRuntime(space, nil)
+	ar := memmodel.NewArena(0, space.Size())
+	opts := BravoOptions()
+	opts.BravoSlots = 8 // deterministic table size regardless of GOMAXPROCS
+	l := MustNew(e, ar, 1, 4, opts, nil)
+	h := l.NewHandle(0)
+
+	data := ar.AllocWords(1)
+
+	var sink uint64
+	readBody := func(acc memmodel.Accessor) { sink += acc.Load(data) }
+	writeBody := func(acc memmodel.Accessor) { acc.Store(data, acc.Load(data)+1) }
+
+	for i := 0; i < 4; i++ {
+		h.Write(0, writeBody)
+		h.Read(1, readBody)
+	}
+
+	if avg := testing.AllocsPerRun(100, func() { h.Read(1, readBody) }); avg != 0 {
+		t.Fatalf("Read allocated %.2f objects per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { h.Write(0, writeBody) }); avg != 0 {
+		t.Fatalf("Write allocated %.2f objects per run, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestDynamicHandlePathsDoNotAllocate pins the dynamic-registration hot
+// paths: once a dynamic handle exists, its Read (BRAVO arrive/depart, no
+// per-slot bookkeeping) and Write (straight to the fallback lock) must not
+// heap-allocate. This is what keeps NewDynamicHandle usable from transient
+// goroutines — the only allocation is the handle itself.
+func TestDynamicHandlePathsDoNotAllocate(t *testing.T) {
+	space := htm.MustNewSpace(htm.Config{Threads: 1, Words: 1 << 14})
+	e := htm.NewRuntime(space, nil)
+	ar := memmodel.NewArena(0, space.Size())
+	opts := BravoOptions()
+	opts.BravoSlots = 8
+	l := MustNew(e, ar, 1, 4, opts, nil)
+	h, err := l.NewDynamicHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := ar.AllocWords(1)
+
+	var sink uint64
+	readBody := func(acc memmodel.Accessor) { sink += acc.Load(data) }
+	writeBody := func(acc memmodel.Accessor) { acc.Store(data, acc.Load(data)+1) }
+
+	for i := 0; i < 4; i++ {
+		h.Write(0, writeBody)
+		h.Read(1, readBody)
+	}
+
+	if avg := testing.AllocsPerRun(100, func() { h.Read(1, readBody) }); avg != 0 {
+		t.Fatalf("dynamic Read allocated %.2f objects per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { h.Write(0, writeBody) }); avg != 0 {
+		t.Fatalf("dynamic Write allocated %.2f objects per run, want 0", avg)
+	}
+	_ = sink
+}

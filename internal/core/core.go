@@ -26,12 +26,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sprwl/internal/ema"
 	"sprwl/internal/env"
 	"sprwl/internal/locks"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/obs"
+	"sprwl/internal/readers"
 	"sprwl/internal/rwlock"
 	"sprwl/internal/snzi"
 )
@@ -70,11 +72,26 @@ type Options struct {
 	// check a single-line read (§3.4, Fig. 6).
 	UseSNZI bool
 
+	// UseBravo tracks readers with a BRAVO-style sharded visible-readers
+	// table (package readers): arrivals hash into cache-line-padded
+	// slots, so the writer's commit-time check scans O(table slots)
+	// lines instead of one word per registered thread, and slot-less
+	// dynamic handles (NewDynamicHandle) become possible. Overrides
+	// UseSNZI.
+	UseBravo bool
+
+	// BravoSlots overrides the BRAVO table size (rounded to a power of
+	// two in [4, 256]); 0 derives it from runtime.GOMAXPROCS.
+	// Deterministic runs (the simulator harness) must pin it.
+	BravoSlots int
+
 	// AutoSNZI enables the paper's §5 future-work self-tuning: the lock
-	// measures reader durations and switches reader tracking between
-	// the flag array (cheap readers) and SNZI (cheap writer checks) at
-	// runtime, using a transition protocol that keeps every active
-	// reader visible to writers throughout. Overrides UseSNZI.
+	// measures reader durations and switches reader tracking at runtime
+	// between the flag array (cheapest readers), the BRAVO table
+	// (cheap readers, bounded writer checks, dynamic-safe), and SNZI
+	// (cheapest writer checks), using a transition protocol that keeps
+	// every active reader visible to writers throughout. Overrides
+	// UseBravo and UseSNZI.
 	AutoSNZI bool
 
 	// AutoSNZIThreshold is the reader duration (cycles) above which
@@ -153,6 +170,15 @@ func SNZIOptions() Options {
 	return o
 }
 
+// BravoOptions is the full configuration with BRAVO-table reader tracking:
+// O(table slots) commit checks and support for dynamic (slot-less) reader
+// handles.
+func BravoOptions() Options {
+	o := DefaultOptions()
+	o.UseBravo = true
+	return o
+}
+
 // AutoSNZIOptions is the §5 self-tuning configuration: reader tracking
 // switches between flags and SNZI based on measured reader durations.
 func AutoSNZIOptions() Options {
@@ -182,16 +208,48 @@ type Lock struct {
 	z         *snzi.SNZI
 	trackMode memmodel.Addr // adaptive reader-tracking mode word
 	adapt     adaptState
+
+	// The three reader-indicator backends (package readers). indFlags
+	// wraps the state array and indSNZI wraps z, so the simulated
+	// memory traffic of the classic configurations is unchanged;
+	// indBravo is allocated only when UseBravo or AutoSNZI asks for it.
+	indFlags readers.Flags
+	indSNZI  readers.SNZI
+	indBravo *readers.Bravo
+
+	// dynReaders counts dynamic (slot-less) handles ever created; while
+	// nonzero the self-tuning controller must not select the flag
+	// array, which cannot represent them.
+	dynReaders atomic.Int64
 }
 
 var _ rwlock.Lock = (*Lock)(nil)
 
 // Words returns the simulated-memory footprint of a Lock for the given
-// thread count, in words.
+// thread count, in words, for every configuration without a BRAVO table.
+// Use WordsFor when Options may select one.
 func Words(threads int) int {
 	arrays := 5 * lineAlignedWords(threads)
 	glWords := 3 * memmodel.LineWords // fallback lock, its version, mode word
 	return arrays + glWords + snzi.Words(threads)
+}
+
+// WordsFor returns the simulated-memory footprint of a Lock built with the
+// given options.
+func WordsFor(threads int, opts Options) int {
+	w := Words(threads)
+	if opts.UseBravo || opts.AutoSNZI {
+		w += readers.BravoWords(bravoSlotCount(opts))
+	}
+	return w
+}
+
+// bravoSlotCount resolves the BRAVO table size for opts.
+func bravoSlotCount(opts Options) int {
+	if opts.BravoSlots > 0 {
+		return readers.ClampBravoSlots(opts.BravoSlots)
+	}
+	return readers.DefaultBravoSlots()
 }
 
 func lineAlignedWords(n int) int {
@@ -235,6 +293,17 @@ func New(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, pipe *
 	l.glVer = ar.AllocLines(1)
 	l.trackMode = ar.AllocLines(1)
 	l.z = snzi.New(e, ar.AllocWords(snzi.Words(threads)), threads)
+	// Indicator backends. Flags and SNZI wrap state the lock already
+	// owns — same words, same access sequences as the classic layout;
+	// the BRAVO table is extra state, allocated after everything else so
+	// configurations without it keep their exact arena layout.
+	l.indFlags = readers.NewFlags(e, l.state, threads)
+	l.indSNZI = readers.NewSNZI(l.z)
+	if l.opts.UseBravo || l.opts.AutoSNZI {
+		slots := bravoSlotCount(l.opts)
+		l.opts.BravoSlots = slots
+		l.indBravo = readers.NewBravo(e, ar.AllocWords(readers.BravoWords(slots)), slots)
+	}
 	return l, nil
 }
 
@@ -252,6 +321,8 @@ func (l *Lock) Name() string {
 	switch {
 	case l.opts.AutoSNZI:
 		return "SpRWL-Auto"
+	case l.opts.UseBravo:
+		return "SpRWL-Bravo"
 	case l.opts.UseSNZI:
 		return "SpRWL-SNZI"
 	case !l.opts.ReaderSync && !l.opts.WriterSync:
@@ -270,7 +341,7 @@ func (l *Lock) NewHandle(slot int) rwlock.Handle {
 	if slot < 0 || slot >= l.threads {
 		panic(fmt.Sprintf("core: slot %d out of range [0,%d)", slot, l.threads))
 	}
-	h := &handle{l: l, slot: slot, ring: l.pipe.Thread(slot)}
+	h := &handle{l: l, slot: slot, hint: uint64(slot), ring: l.pipe.Thread(slot)}
 	// The attempt closures are built once per handle and reused by every
 	// hardware attempt: passing a fresh closure through the env.Env.Attempt
 	// interface would make it escape and allocate on every retry of every
@@ -293,18 +364,64 @@ func (l *Lock) NewHandle(slot int) rwlock.Handle {
 	return h
 }
 
+// dynSeed feeds goroutine-local slot hashing: every dynamic handle draws a
+// distinct seed, mixed so consecutive handles probe unrelated BRAVO slots
+// and SNZI leaves.
+var dynSeed atomic.Uint64
+
+// NewDynamicHandle returns a handle bound to no preassigned thread slot:
+// any number of goroutines may hold one (one goroutine per handle at a
+// time, as with NewHandle), beyond the lock's registered thread count.
+//
+// Dynamic reads take the uninstrumented path and publish through a
+// dynamic-safe indicator — the BRAVO table or SNZI — using the handle's
+// hash seed instead of a slot; dynamic writes always run on the global
+// fallback lock, which needs no slot either. The per-slot scheduling
+// refinements (HTM-first sections, clock advertisement, §3.3 wait
+// registration, duration sampling) are skipped: they all key on a slot.
+//
+// Requires a dynamic-safe backend: UseBravo, UseSNZI, or AutoSNZI. Under
+// AutoSNZI the first dynamic handle permanently evicts flag-array
+// tracking (the flag array cannot represent slot-less readers); the
+// controller keeps self-tuning between BRAVO and SNZI.
+func (l *Lock) NewDynamicHandle() (rwlock.Handle, error) {
+	if !l.opts.AutoSNZI && !l.opts.UseBravo && !l.opts.UseSNZI {
+		return nil, errors.New("core: dynamic handles need a dynamic-safe reader backend (UseBravo, UseSNZI or AutoSNZI)")
+	}
+	h := &handle{l: l, slot: -1, hint: readers.Mix64(dynSeed.Add(1))}
+	if l.opts.AutoSNZI {
+		l.dynReaders.Add(1)
+		// Evict flag-array tracking before this handle's first read,
+		// under the transition lock so a controller switch in flight
+		// completes first.
+		l.adapt.mu.Lock()
+		if cur := trackTarget(l.e.Load(l.trackMode)); cur == backendFlags {
+			h.switchTracking(backendFlags, backendBravo)
+		}
+		l.adapt.mu.Unlock()
+	}
+	return h, nil
+}
+
 // handle is one thread's endpoint; see rwlock.Handle for the usage
-// contract.
+// contract. Dynamic handles carry slot == -1 and skip every slot-keyed
+// path (HTM attempts, clock advertisement, wait registration, sampling).
 type handle struct {
 	l    *Lock
 	slot int
+	// hint seeds indicator slot selection: the thread slot for static
+	// handles (the flag array requires it), a mixed per-handle seed for
+	// dynamic ones.
+	hint uint64
 	// ring is this thread's observability event buffer (nil when no
 	// pipeline is attached; all record methods are nil-safe).
 	ring *obs.Ring
 	// flaggedIn records which tracking structure this thread's active
-	// reader flag lives in (modeFlags or modeSNZI), so the unflag always
-	// retracts from the structure that was used.
+	// reader flag lives in (a backend* value), and flagToken the
+	// backend's Arrive token, so the unflag always retracts exactly
+	// what was published.
 	flaggedIn uint64
+	flagToken uint64
 
 	// txBody carries the critical-section body for the duration of one
 	// Read/Write call; txRead and txWrite are the per-handle attempt

@@ -19,14 +19,17 @@ func (h *handle) Read(csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
 
-	if l.opts.ReaderHTMFirst && h.readTryHTM(csID, start, body) {
+	// Dynamic handles (slot < 0) skip the slot-keyed refinements: HTM
+	// attempts need an environment slot, and the clock/sampling words
+	// are per-slot arrays.
+	if l.opts.ReaderHTMFirst && h.slot >= 0 && h.readTryHTM(csID, start, body) {
 		return
 	}
 
 	if l.opts.ReaderSync {
 		h.readersWait(csID)
 	}
-	if l.opts.WriterSync {
+	if l.opts.WriterSync && h.slot >= 0 {
 		// Advertise our predicted end time for Alg. 3's writer_wait,
 		// after reader synchronization and before starting (§3.2.2).
 		l.e.Store(l.clockRAddr(h.slot), l.est.EndTime(csID, l.e.Now()))
@@ -42,7 +45,7 @@ func (h *handle) Read(csID int, body rwlock.Body) {
 	// before the flag reset (the environment's accesses are sequentially
 	// consistent, subsuming the paper's mem_fence).
 	h.unflagReader()
-	if l.opts.WriterSync {
+	if l.opts.WriterSync && h.slot >= 0 {
 		l.e.Store(l.clockRAddr(h.slot), 0)
 	}
 
@@ -110,7 +113,11 @@ func (h *handle) readersWait(csID int) {
 		return
 	}
 	waitStart := l.e.Now()
-	l.e.Store(l.waitingForAddr(h.slot), uint64(wait+1))
+	if h.slot >= 0 {
+		// Dynamic readers wait but cannot advertise joinable waits:
+		// the waitingFor array is per-slot.
+		l.e.Store(l.waitingForAddr(h.slot), uint64(wait+1))
+	}
 	if l.opts.TimedReaderWait {
 		// §3.4: sleep on the timestamp counter until the writer's
 		// predicted end instead of hammering its state line.
@@ -121,7 +128,9 @@ func (h *handle) readersWait(csID int) {
 	for l.e.Load(l.stateAddr(wait)) == stateWriter {
 		l.e.Yield()
 	}
-	l.e.Store(l.waitingForAddr(h.slot), 0)
+	if h.slot >= 0 {
+		l.e.Store(l.waitingForAddr(h.slot), 0)
+	}
 	h.ring.Wait(obs.WaitRSync, obs.Reader, csID, waitStart, l.e.Now())
 }
 
@@ -140,6 +149,10 @@ func (h *handle) readersWait(csID int) {
 // least one of the two scans at every instant.
 func (h *handle) flagReaderAndSyncGL(csID int) {
 	l := h.l
+	// The §3.3 registration words are per-slot; a dynamic reader takes
+	// the plain flag-and-wait path even under VersionedSGL (it simply
+	// does not overtake newer fallback writers).
+	vsgl := l.opts.VersionedSGL && h.slot >= 0
 	for {
 		// Cheap pre-wait while the fallback lock is held (the reader
 		// analogue of Alg. 1 line 34): without it, readers churn
@@ -148,7 +161,7 @@ func (h *handle) flagReaderAndSyncGL(csID int) {
 		// writer's quiescence wait. The flag-then-check below remains
 		// the safety handshake. (VersionedSGL readers must not park
 		// here — §3.3 lets them overtake newer fallback writers.)
-		if !l.opts.VersionedSGL {
+		if !vsgl {
 			h.spinWhileGLHeld(obs.Reader, csID)
 		}
 		h.flagReader()
@@ -156,7 +169,7 @@ func (h *handle) flagReaderAndSyncGL(csID int) {
 			return
 		}
 		h.unflagReader()
-		if !l.opts.VersionedSGL {
+		if !vsgl {
 			h.spinWhileGLHeld(obs.Reader, csID)
 			continue
 		}
@@ -207,7 +220,7 @@ func (h *handle) flagReader() {
 		}
 		h.departFrom(target)
 	}
-	if l.opts.VersionedSGL {
+	if l.opts.VersionedSGL && h.slot >= 0 {
 		// Retire any §3.3 wait registration only after the flag is
 		// visible, so a gated fallback writer always sees one or the
 		// other.

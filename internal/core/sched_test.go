@@ -4,25 +4,47 @@ import (
 	"testing"
 	"time"
 
+	"sprwl/internal/env"
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/stats"
+	"sprwl/internal/tsc"
 )
+
+// testSetupVirtual is testSetup on a virtual cycle clock: timed waits
+// complete by jumping time to their deadline (tsc.Sleeper), so the tests
+// below assert wait targets with exact equality instead of sleeping real
+// milliseconds and allowing scheduler slack.
+func testSetupVirtual(t *testing.T, threads int, opts Options) (*Lock, env.Env, *tsc.Virtual) {
+	t.Helper()
+	space, err := htm.NewSpace(htm.Config{Threads: threads, Words: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := tsc.NewVirtual(0)
+	e := htm.NewRuntime(space, vc)
+	ar := memmodel.NewArena(0, space.Size())
+	col := stats.NewCollector(threads)
+	l, err := New(e, ar, threads, 8, opts, col.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, e, vc
+}
 
 // TestTimedReaderWaitUsesWriterClock: with the §3.4 timed-wait optimization
 // a deferring reader sleeps until the writer's advertised end time instead
-// of returning as soon as possible — observable as the reader entering only
-// after the advertised clock, even though the writer flag cleared earlier
-// in wall time plus spin slack.
+// of returning as soon as the flag clears. On the virtual clock the only
+// thing that can advance time is that timed wait, so the reader's entry
+// timestamp must equal the advertised clock exactly.
 func TestTimedReaderWaitUsesWriterClock(t *testing.T) {
 	opts := RSyncOptions()
 	opts.ReaderHTMFirst = false
 	opts.TimedReaderWait = true
-	l, e, _, _ := testSetup(t, 3, htm.Config{}, opts)
+	l, e, _ := testSetupVirtual(t, 3, opts)
 
-	const waitNanos = 20_000_000 // 20ms in wall-clock "cycles"
-	start := e.Now()
-	e.Store(l.clockWAddr(0), start+waitNanos)
+	const writerEnd = 20_000_000
+	e.Store(l.clockWAddr(0), writerEnd)
 	e.Store(l.stateAddr(0), stateWriter)
 
 	entered := make(chan uint64, 1)
@@ -31,15 +53,18 @@ func TestTimedReaderWaitUsesWriterClock(t *testing.T) {
 		entered <- e.Now()
 	}()
 
-	// Clear the writer flag almost immediately: a spinning reader would
-	// enter right away; a timed reader still sleeps on the clock.
-	time.Sleep(2 * time.Millisecond)
+	// Wait until the reader has committed to deferring (it advertises a
+	// joinable wait before sleeping), then clear the writer flag. No
+	// real-time guessing: the handshake is on simulated memory.
+	for e.Load(l.waitingForAddr(1)) == 0 {
+		e.Yield()
+	}
 	e.Store(l.stateAddr(0), stateEmpty)
 
 	select {
 	case at := <-entered:
-		if at < start+waitNanos {
-			t.Fatalf("reader entered %d cycles early despite timed wait", start+waitNanos-at)
+		if at != writerEnd {
+			t.Fatalf("reader entered at %d, want exactly the advertised writer end %d", at, writerEnd)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("reader never entered")
@@ -47,45 +72,38 @@ func TestTimedReaderWaitUsesWriterClock(t *testing.T) {
 }
 
 // TestWriterWaitTargetsLastReaderEnd: Alg. 3's writer_wait delays the retry
-// until approximately the last advertised reader end time minus half the
-// writer's expected duration.
+// until exactly the last advertised reader end time minus half the writer's
+// expected duration (target = lastReaderEnd - dur + δ, δ = dur/2).
 func TestWriterWaitTargetsLastReaderEnd(t *testing.T) {
-	opts := DefaultOptions()
-	l, e, _, _ := testSetup(t, 3, htm.Config{}, opts)
+	l, e, _ := testSetupVirtual(t, 3, DefaultOptions())
 	h := l.NewHandle(0).(*handle)
 
-	// Teach the estimator a 2ms writer duration for cs 0 (sampled on
-	// slot 0).
-	l.est.Sample(0, 2_000_000)
+	// Teach the estimator a 2M-cycle writer duration for cs 0.
+	const writerDur = 2_000_000
+	l.est.Sample(0, writerDur)
 
-	const readerRemaining = 15_000_000 // 15ms
-	now := e.Now()
-	e.Store(l.clockRAddr(1), now+readerRemaining)
-	e.Store(l.clockRAddr(2), now+readerRemaining/2) // earlier reader: ignored
+	const readerRemaining = 15_000_000
+	e.Store(l.clockRAddr(1), readerRemaining)
+	e.Store(l.clockRAddr(2), readerRemaining/2) // earlier reader: ignored
 
 	before := e.Now()
 	h.writerWait(0)
 	waited := e.Now() - before
 
-	// Target = lastReaderEnd - dur + δ = lastReaderEnd - dur/2.
-	wantMin := uint64(readerRemaining - 2_000_000) // generous lower bound
-	if waited < wantMin/2 {
-		t.Fatalf("writerWait waited %d cycles, want at least ~%d", waited, wantMin)
-	}
-	if waited > readerRemaining*2 {
-		t.Fatalf("writerWait waited %d cycles, far beyond the reader horizon", waited)
+	if want := uint64(readerRemaining - writerDur/2); waited != want {
+		t.Fatalf("writerWait waited %d cycles, want exactly %d", waited, want)
 	}
 }
 
 // TestWriterWaitNoActiveReadersReturnsImmediately: with no advertised
-// reader end times the wait is a no-op.
+// reader end times the wait is a no-op — zero virtual cycles.
 func TestWriterWaitNoActiveReadersReturnsImmediately(t *testing.T) {
-	l, e, _, _ := testSetup(t, 2, htm.Config{}, DefaultOptions())
+	l, e, _ := testSetupVirtual(t, 2, DefaultOptions())
 	h := l.NewHandle(0).(*handle)
 	before := e.Now()
 	h.writerWait(0)
-	if waited := e.Now() - before; waited > 5_000_000 {
-		t.Fatalf("writerWait with no readers waited %d cycles", waited)
+	if waited := e.Now() - before; waited != 0 {
+		t.Fatalf("writerWait with no readers waited %d cycles, want 0", waited)
 	}
 }
 

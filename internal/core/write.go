@@ -24,6 +24,15 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
 
+	// Dynamic handles (slot < 0) cannot run hardware attempts (those
+	// need an environment slot) or advertise in the per-slot state
+	// array; they go straight to the fallback lock, which is always
+	// correct for a writer.
+	if h.slot < 0 {
+		h.writeFallback(csID, start, body)
+		return
+	}
+
 	if l.opts.ReaderSync {
 		// Advertise before attempting, and keep the flag up across
 		// retries and the fallback: this is what guarantees that a
@@ -58,14 +67,20 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 	}
 
 	h.txBody = nil
+	h.writeFallback(csID, start, body)
+}
 
-	// Pessimistic fallback (Alg. 1 lines 43–45).
+// writeFallback is the pessimistic path (Alg. 1 lines 43–45): take the
+// global lock, drain active readers, run directly.
+func (h *handle) writeFallback(csID int, start uint64, body rwlock.Body) {
+	l := h.l
 	h.lockGL()
 	glAcquired := l.e.Now()
 	h.waitForReaders(csID)
 	bodyStart := l.e.Now()
 	body(l.e)
 	l.sample(h.slot, csID, l.e.Now()-bodyStart)
+	h.restoreReaderBias()
 	l.gl.Unlock()
 	h.ring.SGL(csID, glAcquired, l.e.Now())
 	h.finishWrite(csID, start, env.ModeGL)
@@ -75,7 +90,7 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 // unlock order) and records bookkeeping.
 func (h *handle) finishWrite(csID int, start uint64, mode env.CommitMode) {
 	l := h.l
-	if l.opts.ReaderSync {
+	if l.opts.ReaderSync && h.slot >= 0 {
 		l.e.Store(l.stateAddr(h.slot), stateEmpty)
 	}
 	h.ring.Section(obs.Writer, csID, mode, start, l.e.Now())
@@ -91,6 +106,8 @@ func (h *handle) checkForReaders(tx env.TxAccessor) {
 	switch {
 	case l.opts.AutoSNZI:
 		h.checkForReadersAdaptive(tx)
+	case l.opts.UseBravo:
+		h.checkBravo(tx)
 	case l.opts.UseSNZI:
 		h.checkIndicator(tx)
 	default:
@@ -163,19 +180,38 @@ func (h *handle) lockGL() {
 func (h *handle) waitForReaders(csID int) {
 	l := h.l
 	drainStart := l.e.Now()
-	if l.opts.AutoSNZI || l.opts.UseSNZI {
-		for l.z.Query() {
-			l.e.Yield()
-		}
-		if l.opts.AutoSNZI {
-			// Adaptive mode: readers may be flagged in either
-			// structure.
-			h.drainFlags()
-		}
-	} else {
-		h.drainFlags()
+	if l.indBravo != nil {
+		// Revoke read bias first (BRAVO §3): new arrivals go to the
+		// overflow line, so draining the slot table converges even
+		// under a constant reader stream. Bias is restored just before
+		// the fallback lock is released.
+		l.indBravo.Revoke()
+		h.ring.Readers(obs.ReadersRevoked, csID, l.e.Now())
+	}
+	switch {
+	case l.opts.AutoSNZI:
+		// Adaptive mode: readers may be flagged in any structure (a
+		// tracking transition can be mid-flight).
+		l.indSNZI.Drain(l.e)
+		l.indBravo.Drain(l.e)
+		l.indFlags.Drain(l.e)
+	case l.opts.UseBravo:
+		l.indBravo.Drain(l.e)
+	case l.opts.UseSNZI:
+		l.indSNZI.Drain(l.e)
+	default:
+		l.indFlags.Drain(l.e)
 	}
 	h.ring.Wait(obs.WaitDrain, obs.Writer, csID, drainStart, l.e.Now())
+}
+
+// restoreReaderBias re-enables BRAVO read bias at the end of a fallback
+// write, while the fallback lock is still held (so Revoke/Restore pairs
+// are serialized by the lock).
+func (h *handle) restoreReaderBias() {
+	if l := h.l; l.indBravo != nil {
+		l.indBravo.Restore()
+	}
 }
 
 var _ rwlock.Handle = (*handle)(nil)

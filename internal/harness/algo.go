@@ -22,6 +22,7 @@ import (
 const (
 	AlgoSpRWL        = "SpRWL"
 	AlgoSpRWLSNZI    = "SpRWL-SNZI"
+	AlgoSpRWLBravo   = "SpRWL-Bravo"
 	AlgoSpRWLNoSched = "SpRWL-NoSched"
 	AlgoSpRWLRWait   = "SpRWL-RWait"
 	AlgoSpRWLRSync   = "SpRWL-RSync"
@@ -39,9 +40,10 @@ const (
 // AllAlgorithms lists every lock BuildLock can construct.
 func AllAlgorithms() []string {
 	return []string{
-		AlgoSpRWL, AlgoSpRWLSNZI, AlgoSpRWLNoSched, AlgoSpRWLRWait,
-		AlgoSpRWLRSync, AlgoSpRWLVSGL, AlgoSpRWLAuto, AlgoTLE, AlgoRWLE,
-		AlgoRWL, AlgoBRLock, AlgoPFRWL, AlgoPRWL, AlgoMCSRW,
+		AlgoSpRWL, AlgoSpRWLSNZI, AlgoSpRWLBravo, AlgoSpRWLNoSched,
+		AlgoSpRWLRWait, AlgoSpRWLRSync, AlgoSpRWLVSGL, AlgoSpRWLAuto,
+		AlgoTLE, AlgoRWLE, AlgoRWL, AlgoBRLock, AlgoPFRWL, AlgoPRWL,
+		AlgoMCSRW,
 	}
 }
 
@@ -64,6 +66,8 @@ func BuildLock(name string, e env.Env, ar *memmodel.Arena, threads, numCS int, p
 		return core.New(e, ar, threads, numCS, core.DefaultOptions(), pipe)
 	case AlgoSpRWLSNZI:
 		return core.New(e, ar, threads, numCS, core.SNZIOptions(), pipe)
+	case AlgoSpRWLBravo:
+		return core.New(e, ar, threads, numCS, core.BravoOptions(), pipe)
 	case AlgoSpRWLNoSched:
 		return core.New(e, ar, threads, numCS, core.NoSchedOptions(), pipe)
 	case AlgoSpRWLRWait:

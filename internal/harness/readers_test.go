@@ -1,0 +1,38 @@
+package harness
+
+import "testing"
+
+// TestReadersPointRunsEachBackend covers the real-runtime readers sweep
+// plumbing with a tiny wall-clock window: every backend must produce a
+// non-empty point, including the dynamic series beyond the static slot
+// limit.
+func TestReadersPointRunsEachBackend(t *testing.T) {
+	for _, spec := range readersBackends() {
+		g := 3
+		if spec.dynamic {
+			g = 70 // beyond htm.MaxThreads: dynamic registration required
+		}
+		pt, err := RunReadersPoint(spec, g, 3_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.algo, err)
+		}
+		if pt.Ops == 0 {
+			t.Errorf("%s@%d: no reads completed", spec.algo, g)
+		}
+		if pt.Algo != spec.algo || pt.Threads != g {
+			t.Errorf("%s: mislabeled point %+v", spec.algo, pt)
+		}
+	}
+}
+
+// TestReadersPointRejectsOversizedFlagSeries: the flag array needs a slot
+// per reader and must refuse counts beyond the emulation limit.
+func TestReadersPointRejectsOversizedFlagSeries(t *testing.T) {
+	flags := readersBackends()[0]
+	if flags.dynamic {
+		t.Fatal("first backend expected to be the static flag array")
+	}
+	if _, err := RunReadersPoint(flags, 64, 1_000_000); err == nil {
+		t.Fatal("flag-array point beyond the slot limit did not error")
+	}
+}

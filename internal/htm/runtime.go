@@ -71,6 +71,12 @@ func (r *Runtime) Now() uint64 { return r.clock.Now() }
 // clock; short waits spin-yield, long waits sleep most of the interval to
 // avoid burning the (possibly oversubscribed) host CPU.
 func (r *Runtime) WaitUntil(t uint64) {
+	if s, ok := r.clock.(tsc.Sleeper); ok {
+		// A virtual clock completes timed waits by advancing time,
+		// keeping tests of the wait paths deterministic and instant.
+		s.SleepUntil(t)
+		return
+	}
 	const sleepThreshold = 200_000 // cycles (~200µs wall time)
 	for {
 		now := r.clock.Now()

@@ -77,6 +77,11 @@ const (
 	// ignores it (EvAbort carries the per-algorithm accounting).
 	EvTx
 
+	// EvReaders is one reader-indicator lifecycle event: a BRAVO table
+	// probe collision, a fallback writer's bias revocation, or a
+	// self-tuning backend switch. Code is a Readers* code; instant.
+	EvReaders
+
 	numKinds
 )
 
@@ -93,8 +98,40 @@ func (k Kind) String() string {
 		return "sgl"
 	case EvTx:
 		return "tx"
+	case EvReaders:
+		return "readers"
 	default:
 		return "none"
+	}
+}
+
+// Reader-indicator event codes (EvReaders.Code).
+const (
+	// ReadersCollision: a BRAVO arrival exhausted its slot probes and
+	// published on the overflow counter instead.
+	ReadersCollision uint8 = iota
+	// ReadersRevoked: a fallback writer revoked the BRAVO reader bias
+	// before draining, advancing the revocation epoch.
+	ReadersRevoked
+	// ReadersSwitch: the self-tuning controller completed a reader
+	// tracking backend switch.
+	ReadersSwitch
+
+	// NumReadersCodes sizes per-code accumulator arrays.
+	NumReadersCodes
+)
+
+// ReadersCodeString returns the label for an EvReaders code.
+func ReadersCodeString(code uint8) string {
+	switch code {
+	case ReadersCollision:
+		return "collision"
+	case ReadersRevoked:
+		return "revoked"
+	case ReadersSwitch:
+		return "switch"
+	default:
+		return "unknown"
 	}
 }
 
@@ -253,6 +290,17 @@ func (r *Ring) Tx(cs int, cause env.AbortCause, start, end uint64) {
 		return
 	}
 	r.Record(Event{TS: start, Dur: end - start, CS: int32(cs), Kind: EvTx, Code: uint8(cause)})
+}
+
+// Readers records one reader-indicator lifecycle event (a Readers* code)
+// at ts; cs is the critical-section ID or -1 when not attributable.
+//
+//sprwl:hotpath
+func (r *Ring) Readers(code uint8, cs int, ts uint64) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{TS: ts, CS: int32(cs), Kind: EvReaders, Code: code})
 }
 
 // flush drains the buffered events to every sink and resets the ring.

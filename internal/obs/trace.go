@@ -96,6 +96,9 @@ func (t *TraceSink) WriteTo(w io.Writer) (int64, error) {
 				}
 				emit(`{"ph":"X","name":%q,"cat":"htm","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{}}`,
 					name, slot, traceTS(ev.TS), float64(ev.Dur)/cyclesPerMicro)
+			case EvReaders:
+				emit(`{"ph":"i","s":"t","name":%q,"cat":"readers","pid":1,"tid":%d,"ts":%.3f,"args":{"cs":%d}}`,
+					"readers:"+ReadersCodeString(ev.Code), slot, traceTS(ev.TS), ev.CS)
 			}
 		}
 	}

@@ -21,14 +21,48 @@ func coreFactory(opts func() core.Options) Factory {
 	}
 }
 
+// dynamicLock adapts a core lock so every handle the suite asks for is
+// dynamically registered (no preassigned slot), running the full contract
+// over the slot-free reader path.
+type dynamicLock struct{ l *core.Lock }
+
+func (d dynamicLock) NewHandle(int) rwlock.Handle {
+	h, err := d.l.NewDynamicHandle()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (d dynamicLock) Name() string { return d.l.Name() + "-Dyn" }
+
+func dynamicFactory(opts func() core.Options) Factory {
+	return func(e env.Env, ar *memmodel.Arena, threads int) rwlock.Lock {
+		return dynamicLock{l: core.MustNew(e, ar, threads, 4, opts(), nil)}
+	}
+}
+
+// tinyBravoOptions shrinks the visible-readers table below the suite's
+// thread count so the overflow/collision path is exercised under load.
+func tinyBravoOptions() core.Options {
+	o := core.BravoOptions()
+	o.BravoSlots = 4
+	return o
+}
+
 func TestConformance(t *testing.T) {
 	factories := map[string]Factory{
-		"SpRWL":         coreFactory(core.DefaultOptions),
-		"SpRWL-NoSched": coreFactory(core.NoSchedOptions),
-		"SpRWL-RWait":   coreFactory(core.RWaitOptions),
-		"SpRWL-RSync":   coreFactory(core.RSyncOptions),
-		"SpRWL-SNZI":    coreFactory(core.SNZIOptions),
-		"SpRWL-Auto":    coreFactory(core.AutoSNZIOptions),
+		"SpRWL":            coreFactory(core.DefaultOptions),
+		"SpRWL-NoSched":    coreFactory(core.NoSchedOptions),
+		"SpRWL-RWait":      coreFactory(core.RWaitOptions),
+		"SpRWL-RSync":      coreFactory(core.RSyncOptions),
+		"SpRWL-SNZI":       coreFactory(core.SNZIOptions),
+		"SpRWL-Auto":       coreFactory(core.AutoSNZIOptions),
+		"SpRWL-Bravo":      coreFactory(core.BravoOptions),
+		"SpRWL-Bravo-Tiny": coreFactory(tinyBravoOptions),
+		"SpRWL-Bravo-Dyn":  dynamicFactory(core.BravoOptions),
+		"SpRWL-SNZI-Dyn":   dynamicFactory(core.SNZIOptions),
+		"SpRWL-Auto-Dyn":   dynamicFactory(core.AutoSNZIOptions),
 		"SpRWL-VSGL": coreFactory(func() core.Options {
 			o := core.DefaultOptions()
 			o.VersionedSGL = true

@@ -120,6 +120,10 @@ func (z *SNZI) leafFor(slot int) int {
 	return (z.nodes - z.leaves) + slot%z.leaves
 }
 
+// Leaves returns the number of leaf nodes, for callers that map their own
+// identities onto leaves (slot-less dynamic readers).
+func (z *SNZI) Leaves() int { return z.leaves }
+
 // Query reports whether the surplus is nonzero.
 func (z *SNZI) Query() bool { return z.mem.Load(z.base) != 0 }
 

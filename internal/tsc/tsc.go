@@ -8,13 +8,26 @@
 // and the discrete-event simulator substitute their own clocks.
 package tsc
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Clock is a monotone cycle counter.
 type Clock interface {
 	// Now returns the current cycle count. Successive calls never
 	// decrease.
 	Now() uint64
+}
+
+// Sleeper is implemented by clocks that can complete a timed wait by
+// advancing virtual time instead of blocking the caller. Environments
+// performing a timed wait should prefer Sleeper over sleeping on the host
+// clock when the configured Clock provides it.
+type Sleeper interface {
+	// SleepUntil moves the clock to at least t cycles and returns; on
+	// return Now() >= t.
+	SleepUntil(t uint64)
 }
 
 // WallClock reads the host monotonic clock, reporting nanoseconds as cycles.
@@ -52,4 +65,37 @@ func (m *Manual) Set(t uint64) {
 		panic("tsc: Manual.Set moving time backwards")
 	}
 	m.now = t
+}
+
+// Virtual is a concurrency-safe virtual clock for deterministic tests of
+// the timed-wait paths: time stands still except when explicitly advanced
+// or when a timed wait completes by jumping to its deadline (SleepUntil).
+// Tests asserting on wait targets can therefore use exact equality — no
+// host-scheduler slack is ever added.
+type Virtual struct {
+	now atomic.Uint64
+}
+
+// NewVirtual returns a Virtual clock starting at start cycles.
+func NewVirtual(start uint64) *Virtual {
+	v := &Virtual{}
+	v.now.Store(start)
+	return v
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() uint64 { return v.now.Load() }
+
+// Advance moves the clock forward by d cycles and returns the new time.
+func (v *Virtual) Advance(d uint64) uint64 { return v.now.Add(d) }
+
+// SleepUntil implements Sleeper: the wait completes instantly by moving
+// virtual time to its deadline (never backwards).
+func (v *Virtual) SleepUntil(t uint64) {
+	for {
+		now := v.now.Load()
+		if now >= t || v.now.CompareAndSwap(now, t) {
+			return
+		}
+	}
 }

@@ -54,11 +54,13 @@ type (
 
 // Re-exported option presets (the paper's named variants).
 var (
-	DefaultOptions = core.DefaultOptions
-	NoSchedOptions = core.NoSchedOptions
-	RWaitOptions   = core.RWaitOptions
-	RSyncOptions   = core.RSyncOptions
-	SNZIOptions    = core.SNZIOptions
+	DefaultOptions  = core.DefaultOptions
+	NoSchedOptions  = core.NoSchedOptions
+	RWaitOptions    = core.RWaitOptions
+	RSyncOptions    = core.RSyncOptions
+	SNZIOptions     = core.SNZIOptions
+	BravoOptions    = core.BravoOptions
+	AutoSNZIOptions = core.AutoSNZIOptions
 
 	// Broadwell and Power8 are the paper's two evaluation machines.
 	Broadwell = htm.Broadwell
@@ -91,9 +93,16 @@ type Config struct {
 }
 
 // MinWords returns the address-space words the lock itself needs for a
-// given thread count; Config.Words must be at least this plus application
-// data.
+// given thread count under the default options; Config.Words must be at
+// least this plus application data. Configurations with a BRAVO table
+// (BravoOptions, AutoSNZIOptions) need MinWordsFor.
 func MinWords(threads int) int { return core.Words(threads) + 2*memmodel.LineWords }
+
+// MinWordsFor is MinWords for an explicit option set, accounting for the
+// BRAVO visible-readers table when the options call for one.
+func MinWordsFor(threads int, opts Options) int {
+	return core.WordsFor(threads, opts) + 2*memmodel.LineWords
+}
 
 // Lock is a SpRWL instance bound to its own simulated address space.
 type Lock struct {
@@ -113,8 +122,8 @@ func New(cfg Config) (*Lock, error) {
 	if (cfg.Options == Options{}) {
 		cfg.Options = DefaultOptions()
 	}
-	if cfg.Words < MinWords(cfg.Threads) {
-		return nil, fmt.Errorf("sprwl: Words = %d is below MinWords(%d) = %d", cfg.Words, cfg.Threads, MinWords(cfg.Threads))
+	if min := MinWordsFor(cfg.Threads, cfg.Options); cfg.Words < min {
+		return nil, fmt.Errorf("sprwl: Words = %d is below MinWordsFor(%d) = %d", cfg.Words, cfg.Threads, min)
 	}
 	rCap, wCap := 0, 0
 	if cfg.Machine.Name != "" {
@@ -160,6 +169,19 @@ func (l *Lock) Provision() memmodel.Space { return l.space }
 // must only be used by one goroutine at a time.
 func (l *Lock) Handle(slot int) Handle {
 	return Handle{h: l.lock.NewHandle(slot)}
+}
+
+// DynamicHandle returns an endpoint for a worker that has no preassigned
+// slot — goroutines may come and go beyond Config.Threads. Dynamic readers
+// register through a slot-free indicator (BRAVO or SNZI), so the options
+// must select one: UseBravo, UseSNZI or AutoSNZI. Dynamic writers always
+// take the pessimistic fallback path.
+func (l *Lock) DynamicHandle() (Handle, error) {
+	h, err := l.lock.NewDynamicHandle()
+	if err != nil {
+		return Handle{}, fmt.Errorf("sprwl: %w", err)
+	}
+	return Handle{h: h}, nil
 }
 
 // Stats returns a merged snapshot of commit modes, abort causes and
