@@ -38,6 +38,12 @@ const (
 	Body
 	// Atomic is a package-level sync/atomic call (forbidden in core).
 	Atomic
+	// Wake signals parked waiters on a protocol word (Hub.Wake with the
+	// word's address, or the fallback lock's zero-argument gl.Wake).
+	Wake
+	// Pause is one spin-then-park step of a park.Waiter on a protocol
+	// word (Waiter.Pause with the word's address first).
+	Pause
 )
 
 // Family identifies which protocol word an env access touches.
@@ -50,7 +56,10 @@ const (
 	FamWaiting   Family = "waitingFor"
 	FamReaderVer Family = "readerVer"
 	FamGLVer     Family = "glVer"
-	FamOther     Family = ""
+	// FamGL is the fallback lock's own word (gl.Addr / gl.IsLocked /
+	// gl.Wake), the address §3.3 readers park on.
+	FamGL    Family = "gl"
+	FamOther Family = ""
 )
 
 var addrFamilies = map[string]Family{
@@ -81,8 +90,27 @@ type Event struct {
 	Name string
 }
 
+// Resolver extends the structural address recognition with context the
+// classifier cannot see on its own — typically local aliases of an
+// address-helper call (`a := l.stateAddr(i)` … `l.e.Load(a)`). It returns
+// FamOther for expressions it does not recognize.
+type Resolver func(ast.Expr) Family
+
 // Classify maps a call expression to a protocol event, if it is one.
 func Classify(info *types.Info, call *ast.CallExpr) (Event, bool) {
+	return ClassifyResolved(info, call, nil)
+}
+
+// ClassifyResolved is Classify with an optional address resolver consulted
+// when the structural family match fails.
+func ClassifyResolved(info *types.Info, call *ast.CallExpr, resolve Resolver) (Event, bool) {
+	fam := func(e ast.Expr) Family {
+		f := AddrFamily(e)
+		if f == FamOther && resolve != nil {
+			f = resolve(e)
+		}
+		return f
+	}
 	name := astq.CalleeName(call)
 	switch name {
 	case "flagReader", "arriveIn", "flagReaderAndSyncGL":
@@ -91,14 +119,35 @@ func Classify(info *types.Info, call *ast.CallExpr) (Event, bool) {
 		return Event{Kind: Retract, Pos: call.Pos(), Name: name}, true
 	case "Store":
 		if len(call.Args) == 2 {
-			if fam := AddrFamily(call.Args[0]); fam != FamOther {
-				return Event{Kind: Store, Fam: fam, Val: ClassifyValue(call.Args[1]), Pos: call.Pos(), Name: name}, true
+			if f := fam(call.Args[0]); f != FamOther {
+				return Event{Kind: Store, Fam: f, Val: ClassifyValue(call.Args[1]), Pos: call.Pos(), Name: name}, true
 			}
 		}
 	case "Load":
 		if len(call.Args) == 1 {
-			if fam := AddrFamily(call.Args[0]); fam != FamOther {
-				return Event{Kind: Load, Fam: fam, Pos: call.Pos(), Name: name}, true
+			if f := fam(call.Args[0]); f != FamOther {
+				return Event{Kind: Load, Fam: f, Pos: call.Pos(), Name: name}, true
+			}
+		}
+	case "IsLocked":
+		// The fallback lock's held-check is the gl-word analogue of a
+		// protocol Load: it is what check-before-park loops re-check.
+		if len(call.Args) == 0 && isGLReceiver(call) {
+			return Event{Kind: Load, Fam: FamGL, Pos: call.Pos(), Name: name}, true
+		}
+	case "Wake":
+		if len(call.Args) == 1 {
+			if f := fam(call.Args[0]); f != FamOther {
+				return Event{Kind: Wake, Fam: f, Pos: call.Pos(), Name: name}, true
+			}
+		}
+		if len(call.Args) == 0 && isGLReceiver(call) {
+			return Event{Kind: Wake, Fam: FamGL, Pos: call.Pos(), Name: name}, true
+		}
+	case "Pause":
+		if len(call.Args) == 3 {
+			if f := fam(call.Args[0]); f != FamOther {
+				return Event{Kind: Pause, Fam: f, Pos: call.Pos(), Name: name}, true
 			}
 		}
 	}
@@ -117,12 +166,16 @@ func Classify(info *types.Info, call *ast.CallExpr) (Event, bool) {
 }
 
 // AddrFamily recognizes the address expression of an env access: a call to
-// one of the address-family helpers, or the glVer field/variable.
+// one of the address-family helpers, the fallback lock's gl.Addr(), or the
+// glVer field/variable.
 func AddrFamily(e ast.Expr) Family {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
 		if fam, ok := addrFamilies[astq.CalleeName(e)]; ok {
 			return fam
+		}
+		if astq.CalleeName(e) == "Addr" && isGLReceiver(e) {
+			return FamGL
 		}
 	case *ast.SelectorExpr:
 		if e.Sel.Name == "glVer" {
@@ -134,6 +187,23 @@ func AddrFamily(e ast.Expr) Family {
 		}
 	}
 	return FamOther
+}
+
+// isGLReceiver reports whether the call's method receiver expression is the
+// fallback lock field/variable `gl` (l.gl.Addr(), l.gl.IsLocked(),
+// l.gl.Wake()), matched structurally like the addr-family helpers.
+func isGLReceiver(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return recv.Sel.Name == "gl"
+	case *ast.Ident:
+		return recv.Name == "gl"
+	}
+	return false
 }
 
 // ClassifyValue recognizes the stored values the ordering rules depend on.

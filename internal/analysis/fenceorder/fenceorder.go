@@ -26,18 +26,40 @@
 //
 //   - F5 (must-backward): in a function that both flags the reader and
 //     invokes the body, every path from the body to return must retract
-//     the flag — a path that exits flagged leaks the published slot.
+//     the flag — a path that exits flagged leaks the published slot;
+//
+//   - F6 (must-backward, wake-after-retire): every path out of a store to a
+//     parked-on phase word — stateEmpty to the state word, or any store to
+//     a readerVer registration word — must reach a Wake of the same family
+//     before return. Parked waiters sleep on exactly these words
+//     (readersWait on state, lockGL's §3.3 drain on readerVer), and the
+//     parking table has no spurious wakeups: a phase store whose path can
+//     return without the wake strands a sleeper forever;
+//
+//   - F7 (must-forward, check-before-park): every path into a Waiter.Pause
+//     on a protocol word must have re-checked that word — a Load of the
+//     same family (IsLocked for the gl word) — since the last Pause.
+//     Parking on a stale check is the lost-wakeup window: the word may
+//     already hold the waiter's target value, and the wake that announced
+//     it has already been consumed.
 //
 // F2/F3/F5 are scoped to functions that contain the establishing event at
 // all, so helpers that only perform one half of a handshake (finishWrite's
 // stateEmpty store, checkForReaders' state loads) are not false positives.
-// tx.Abort terminates a path (transactions never fall through an abort),
-// and events inside nested function literals belong to the literal's own
-// analysis, not the enclosing function's CFG.
+// F6 and F7 are unconditional: a retire store or a park is itself the
+// establishing event. tx.Abort terminates a path (transactions never fall
+// through an abort), and events inside nested function literals belong to
+// the literal's own analysis, not the enclosing function's CFG.
+//
+// The wait loops in core bind the watched address once and reuse it
+// (`a := l.stateAddr(wait)` … `l.e.Load(a)` … `w.Pause(a, …)`), so this
+// analyzer resolves single-binding local aliases of the address helpers
+// before classifying; an alias rebound to a different family is dropped.
 package fenceorder
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"sprwl/internal/analysis/astq"
@@ -58,12 +80,37 @@ var Analyzer = &driver.Analyzer{
 const (
 	bitFlagged = 0 // must-forward: reader is flagged on every path here
 	bitClockW  = 1 // must-forward: clockW stored on every path here
+	// Check-before-park facts (F7), one per parked-on family: the word
+	// has been re-checked since the last park on it.
+	bitCheckedState     = 2
+	bitCheckedReaderVer = 3
+	bitCheckedGL        = 4
+	mustFwdBits         = 5
 
 	bitRetracted = 0 // may-forward: some path here has retracted the flag
 
 	bitGLVerLoad = 0 // must-backward: glVer load ahead on every path
 	bitRetract   = 1 // must-backward: retract ahead on every path
+	// Wake-after-retire facts (F6), one per parked-on word family: a
+	// same-family Wake lies ahead on every path.
+	bitWakeState     = 2
+	bitWakeReaderVer = 3
+	mustBwdBits      = 4
 )
+
+// checkedBit maps a parked-on family to its F7 fact bit; ok is false for
+// families no core wait loop parks on.
+func checkedBit(fam coreevent.Family) (int, bool) {
+	switch fam {
+	case coreevent.FamState:
+		return bitCheckedState, true
+	case coreevent.FamReaderVer:
+		return bitCheckedReaderVer, true
+	case coreevent.FamGL:
+		return bitCheckedGL, true
+	}
+	return 0, false
+}
 
 func run(pass *driver.Pass) error {
 	// Like releaseorder, the invariants are properties of the core
@@ -100,6 +147,45 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 		},
 	})
 
+	// Resolve single-binding local aliases of the address helpers
+	// (`a := l.stateAddr(wait)`), so loads, parks, and wakes through the
+	// alias classify with the right family. An alias later rebound to a
+	// different family is dropped rather than guessed at.
+	aliases := make(map[types.Object]coreevent.Family)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			fam := coreevent.AddrFamily(as.Rhs[i])
+			if prev, seen := aliases[obj]; seen && prev != fam {
+				fam = coreevent.FamOther
+			}
+			aliases[obj] = fam
+		}
+		return true
+	})
+	resolve := func(e ast.Expr) coreevent.Family {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				return aliases[obj]
+			}
+		}
+		return coreevent.FamOther
+	}
+
 	// Classify once; the three flows and the replay passes all index this.
 	events := make(map[ast.Node]coreevent.Event)
 	aborts := make(map[ast.Node]bool)
@@ -115,7 +201,7 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 					aborts[m] = true
 					return true
 				}
-				if ev, ok := coreevent.Classify(info, call); ok {
+				if ev, ok := coreevent.ClassifyResolved(info, call, resolve); ok {
 					events[m] = ev
 					switch {
 					case ev.Kind == coreevent.Flag:
@@ -133,7 +219,7 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 	}
 
 	mustFwd := &dataflow.Flow{
-		Graph: g, N: 2, Mode: dataflow.MustForward,
+		Graph: g, N: mustFwdBits, Mode: dataflow.MustForward,
 		Events: func(n ast.Node, _ bool) (gen, kill []int) {
 			ev, ok := events[n]
 			if !ok {
@@ -146,6 +232,19 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 				kill = append(kill, bitFlagged)
 			case ev.Kind == coreevent.Store && ev.Fam == coreevent.FamClockW:
 				gen = append(gen, bitClockW)
+			}
+			// F7 facts: a load of a parked-on word arms its check bit; a
+			// park consumes it, so the next park needs a fresh re-check
+			// (the loop's back edge re-arms through the condition load).
+			switch ev.Kind {
+			case coreevent.Load:
+				if bit, ok := checkedBit(ev.Fam); ok {
+					gen = append(gen, bit)
+				}
+			case coreevent.Pause:
+				if bit, ok := checkedBit(ev.Fam); ok {
+					kill = append(kill, bit)
+				}
 			}
 			return gen, kill
 		},
@@ -167,13 +266,13 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 		},
 	}
 	mustBwd := &dataflow.Flow{
-		Graph: g, N: 2, Mode: dataflow.MustBackward,
+		Graph: g, N: mustBwdBits, Mode: dataflow.MustBackward,
 		Events: func(n ast.Node, _ bool) (gen, kill []int) {
 			if aborts[n] {
 				// The CFG edges aborts to Exit like a return, but an abort
 				// unwinds the transaction and rolls back its simulated
 				// stores, discharging every path obligation.
-				return []int{bitGLVerLoad, bitRetract}, nil
+				return []int{bitGLVerLoad, bitRetract, bitWakeState, bitWakeReaderVer}, nil
 			}
 			ev, ok := events[n]
 			if !ok {
@@ -184,6 +283,16 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 				gen = append(gen, bitGLVerLoad)
 			case coreevent.IsRetractEvent(ev):
 				gen = append(gen, bitRetract)
+			}
+			// F6 facts: a Wake discharges the same-family obligation of
+			// every phase store on paths that reach it.
+			if ev.Kind == coreevent.Wake {
+				switch ev.Fam {
+				case coreevent.FamState:
+					gen = append(gen, bitWakeState)
+				case coreevent.FamReaderVer:
+					gen = append(gen, bitWakeReaderVer)
+				}
 			}
 			return gen, kill
 		},
@@ -196,7 +305,18 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 	for _, b := range g.Blocks {
 		mustFwd.ReplayForward(b, mustFacts.In[b], func(n ast.Node, _ bool, before dataflow.Bits) {
 			ev, ok := events[n]
-			if !ok || ev.Kind != coreevent.Store {
+			if !ok {
+				return
+			}
+			if ev.Kind == coreevent.Pause {
+				// F7: park only on a freshly checked word, on every
+				// incoming path (including the loop back edge).
+				if bit, ok := checkedBit(ev.Fam); ok && !before.Has(bit) {
+					pass.Reportf(ev.Pos, "fence order: a path reaches this park on the %s word without re-checking it since the last park (lost-wakeup window: the word may already hold the waiter's target value)", ev.Fam)
+				}
+				return
+			}
+			if ev.Kind != coreevent.Store {
 				return
 			}
 			switch {
@@ -237,6 +357,22 @@ func checkBody(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 				// F5: the flag must come down on every path after the body.
 				if !after.Has(bitRetract) {
 					pass.Reportf(ev.Pos, "fence order: a path from this critical-section body reaches return without retracting the reader flag; the slot stays published after the read completes")
+				}
+			}
+			// F6: a store to a parked-on phase word must reach a
+			// same-family wake on every outgoing path — the parking table
+			// has no spurious wakeups, so an unwoken phase transition
+			// strands any sleeper whose predicate it satisfies.
+			if ev.Kind == coreevent.Store {
+				switch {
+				case ev.Fam == coreevent.FamState && ev.Val == coreevent.ValStateEmpty:
+					if !after.Has(bitWakeState) {
+						pass.Reportf(ev.Pos, "fence order: a path from this stateEmpty retire reaches return without waking the state word; a reader parked on the writer's phase word stays asleep (lost wakeup)")
+					}
+				case ev.Fam == coreevent.FamReaderVer:
+					if !after.Has(bitWakeReaderVer) {
+						pass.Reportf(ev.Pos, "fence order: a path from this readerVer store reaches return without waking the registration word; a fallback writer parked on its §3.3 drain stays asleep (lost wakeup)")
+					}
 				}
 			}
 		})

@@ -17,6 +17,24 @@ func (envT) Load(a memmodel.Addr) uint64     { return 0 }
 func (envT) Store(a memmodel.Addr, v uint64) {}
 func (envT) Abort(code uint64)               {}
 
+// hubT mirrors park.Hub: the wake endpoint of the phase-word protocol.
+type hubT struct{}
+
+func (hubT) Wake(a memmodel.Addr) {}
+
+// glT mirrors locks.SpinMutex as the core sees it: held-check, parkable
+// address, and the version-bump wake.
+type glT struct{}
+
+func (glT) IsLocked() bool      { return false }
+func (glT) Addr() memmodel.Addr { return 256 }
+func (glT) Wake()               {}
+
+// waiterT mirrors park.Waiter's spin-then-park step.
+type waiterT struct{}
+
+func (waiterT) Pause(a memmodel.Addr, expected, remaining uint64) {}
+
 const (
 	stateEmpty  = 0
 	stateWriter = 2
@@ -25,6 +43,8 @@ const (
 type lock struct {
 	e     envT
 	glVer memmodel.Addr
+	wakes hubT
+	gl    glT
 }
 
 func (l *lock) stateAddr(i int) memmodel.Addr     { return memmodel.Addr(i) }
@@ -89,6 +109,7 @@ func (l *lock) badClearThenLoop(body rwlock.Body) {
 	for cond() {
 		body(nil) // want `a path reaches this critical-section body with the reader flag already retracted`
 		l.e.Store(l.stateAddr(0), stateEmpty)
+		l.wakes.Wake(l.stateAddr(0))
 	}
 }
 
@@ -99,6 +120,7 @@ func (l *lock) badConditionalFlag(slow bool) {
 		l.flagReader()
 	}
 	l.e.Store(l.readerVerAddr(0), 0) // want `a path reaches this readerVer retire \(store of zero\) with the reader not flagged`
+	l.wakes.Wake(l.readerVerAddr(0))
 }
 
 // goodArriveLoop mirrors the real flagReader: every loop exit is
@@ -113,12 +135,14 @@ func (l *lock) goodArriveLoop() {
 		l.unflagReader()
 	}
 	l.e.Store(l.readerVerAddr(0), 0)
+	l.wakes.Wake(l.readerVerAddr(0))
 }
 
 // badConditionalValidate is followed by a glVer load in source order, but
 // the early-return path skips the validation (F4).
 func (l *lock) badConditionalValidate(unlucky bool) {
 	l.e.Store(l.readerVerAddr(0), 7) // want `a path from this readerVer registration reaches return without a glVer validation load`
+	l.wakes.Wake(l.readerVerAddr(0))
 	if unlucky {
 		return
 	}
@@ -130,8 +154,10 @@ func (l *lock) badConditionalValidate(unlucky bool) {
 func (l *lock) goodRegisterValidate() {
 	observed := l.e.Load(l.glVer)
 	l.e.Store(l.readerVerAddr(0), observed+1)
+	l.wakes.Wake(l.readerVerAddr(0))
 	if l.e.Load(l.glVer) != observed {
 		l.e.Store(l.readerVerAddr(0), 0)
+		l.wakes.Wake(l.readerVerAddr(0))
 	}
 }
 
@@ -197,4 +223,92 @@ func (l *lock) allowedEarlyReturn(body rwlock.Body, fail bool) {
 		return
 	}
 	l.unflagReader()
+}
+
+// badRetireWakeSkipped wakes after the phase-word retire in source order,
+// but only on the fast path: the other path returns with a reader still
+// parked on the writer's state word (F6).
+func (l *lock) badRetireWakeSkipped(fast bool) {
+	l.e.Store(l.stateAddr(0), stateEmpty) // want `a path from this stateEmpty retire reaches return without waking the state word`
+	if fast {
+		l.wakes.Wake(l.stateAddr(0))
+	}
+}
+
+// goodRetireWake is the real finishWrite shape: retire, then wake,
+// unconditionally.
+func (l *lock) goodRetireWake() {
+	l.e.Store(l.stateAddr(0), stateEmpty)
+	l.wakes.Wake(l.stateAddr(0))
+}
+
+// goodRetireAbortPath: the abort unwinds the transaction (rolling the store
+// back), so only the falling-through path owes the wake.
+func (l *lock) goodRetireAbortPath(fail bool) {
+	l.e.Store(l.stateAddr(0), stateEmpty)
+	if fail {
+		l.e.Abort(1)
+	}
+	l.wakes.Wake(l.stateAddr(0))
+}
+
+// badRegisterWakeSkipped registers and validates correctly, but the wake of
+// the registration word is conditional: a fallback writer parked on its
+// §3.3 drain can sleep through the registration change (F6).
+func (l *lock) badRegisterWakeSkipped(lucky bool) {
+	l.e.Store(l.readerVerAddr(0), 7) // want `a path from this readerVer store reaches return without waking the registration word`
+	if lucky {
+		l.wakes.Wake(l.readerVerAddr(0))
+	}
+	_ = l.e.Load(l.glVer)
+}
+
+// goodSpinThenPark is the real readersWait shape, through a local alias of
+// the watched address: the loop-condition load re-arms the check on the
+// back edge, so every path into the park has a fresh check (F7 clean).
+func (l *lock) goodSpinThenPark(w waiterT) {
+	a := l.stateAddr(0)
+	for l.e.Load(a) == stateWriter {
+		w.Pause(a, stateWriter, 0)
+	}
+}
+
+// badParkStale parks a second time without re-checking the word: the wake
+// that announced the phase change was consumed by the first park, and the
+// word may already hold the target value (F7).
+func (l *lock) badParkStale(w waiterT) {
+	a := l.stateAddr(0)
+	for l.e.Load(a) == stateWriter {
+		w.Pause(a, stateWriter, 0)
+		w.Pause(a, stateWriter, 0) // want `a path reaches this park on the state word without re-checking it since the last park`
+	}
+}
+
+// badParkCheckOutsideLoop checks the word once before the loop; the back
+// edge re-parks on the stale check (F7 — the violation is path-sensitive:
+// the first iteration is fine).
+func (l *lock) badParkCheckOutsideLoop(w waiterT) {
+	a := l.readerVerAddr(0)
+	if l.e.Load(a) == 0 {
+		return
+	}
+	for cond() {
+		w.Pause(a, 1, 0) // want `a path reaches this park on the readerVer word without re-checking it since the last park`
+	}
+}
+
+// goodParkGL is the real awaitGLClear shape: the held-check is the gl-word
+// analogue of the load, re-armed by the loop condition.
+func (l *lock) goodParkGL(w waiterT) {
+	a := l.gl.Addr()
+	for l.gl.IsLocked() {
+		w.Pause(a, 1, 0)
+	}
+}
+
+// badParkGLUnchecked parks on the fallback-lock word without ever checking
+// it (F7).
+func (l *lock) badParkGLUnchecked(w waiterT) {
+	a := l.gl.Addr()
+	w.Pause(a, 1, 0) // want `a path reaches this park on the gl word without re-checking it since the last park`
 }

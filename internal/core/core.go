@@ -33,6 +33,7 @@ import (
 	"sprwl/internal/locks"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 	"sprwl/internal/readers"
 	"sprwl/internal/rwlock"
 	"sprwl/internal/snzi"
@@ -209,6 +210,12 @@ type Lock struct {
 	trackMode memmodel.Addr // adaptive reader-tracking mode word
 	adapt     adaptState
 
+	// parker is the environment's sleep/wake primitive (nil = spin-only,
+	// the simulator's default); wakes is the nil-safe wake endpoint the
+	// writer-retire paths call after their phase stores.
+	parker park.Parker
+	wakes  park.Hub
+
 	// The three reader-indicator backends (package readers). indFlags
 	// wraps the state array and indSNZI wraps z, so the simulated
 	// memory traffic of the classic configurations is unchanged;
@@ -289,6 +296,8 @@ func New(e env.Env, ar *memmodel.Arena, threads, numCS int, opts Options, pipe *
 	if opts.AutoSNZIThreshold == 0 {
 		l.opts.AutoSNZIThreshold = DefaultAutoSNZIThreshold
 	}
+	l.parker = park.FromEnv(e)
+	l.wakes = park.NewHub(l.parker)
 	l.gl = locks.NewSpinMutex(e, ar.AllocLines(1))
 	l.glVer = ar.AllocLines(1)
 	l.trackMode = ar.AllocLines(1)
@@ -403,6 +412,23 @@ func (l *Lock) NewDynamicHandle() (rwlock.Handle, error) {
 	return h, nil
 }
 
+// NewDynamicHandleObserved is NewDynamicHandle with an observability ring
+// drawn from the lock's pipeline at ringSlot. Dynamic handles have no
+// thread slot, so the pipeline must be built with extra ring slots for them
+// (the oversubscription harness does: ring 0..threads-1 for static handles,
+// ring threads+i for dynamic reader i); a ringSlot beyond the pipeline's
+// size yields a nil ring, i.e. plain NewDynamicHandle behaviour. The usual
+// ownership rule applies: a ring slot must be unique to one handle, used by
+// one goroutine.
+func (l *Lock) NewDynamicHandleObserved(ringSlot int) (rwlock.Handle, error) {
+	h, err := l.NewDynamicHandle()
+	if err != nil {
+		return nil, err
+	}
+	h.(*handle).ring = l.pipe.Thread(ringSlot)
+	return h, nil
+}
+
 // handle is one thread's endpoint; see rwlock.Handle for the usage
 // contract. Dynamic handles carry slot == -1 and skip every slot-keyed
 // path (HTM attempts, clock advertisement, wait registration, sampling).
@@ -444,22 +470,5 @@ func (l *Lock) readerVerAddr(i int) memmodel.Addr  { return l.readerVer + memmod
 func (l *Lock) sample(slot, csID int, cycles uint64) {
 	if l.est.ShouldSample(slot) {
 		l.est.Sample(csID, cycles)
-	}
-}
-
-// spinWhileGLHeld parks the thread until the fallback lock clears,
-// reporting the stall as a WaitGL event when one actually occurred.
-func (h *handle) spinWhileGLHeld(rw uint8, csID int) {
-	l := h.l
-	waited := false
-	var t0 uint64
-	for l.gl.IsLocked() {
-		if !waited {
-			waited, t0 = true, l.e.Now()
-		}
-		l.e.Yield()
-	}
-	if waited {
-		h.ring.Wait(obs.WaitGL, rw, csID, t0, l.e.Now())
 	}
 }

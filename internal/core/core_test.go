@@ -218,7 +218,10 @@ func TestReaderSyncDefersToActiveWriter(t *testing.T) {
 	if got := e.Load(l.waitingForAddr(1)); got != 1 {
 		t.Fatalf("waiting_for[1] = %d, want 1 (writer slot 0 + 1)", got)
 	}
-	e.Store(l.stateAddr(0), stateEmpty) // writer completes
+	// Writer completes: retire store, then wake (the protocol every
+	// writer-retire path follows — a parked reader needs the wake).
+	e.Store(l.stateAddr(0), stateEmpty)
+	l.wakes.Wake(l.stateAddr(0))
 	select {
 	case <-entered:
 	case <-time.After(2 * time.Second):
@@ -259,6 +262,7 @@ func TestJoinWaiters(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	e.Store(l.stateAddr(0), stateEmpty)
+	l.wakes.Wake(l.stateAddr(0))
 	select {
 	case <-entered:
 	case <-time.After(2 * time.Second):
@@ -393,8 +397,9 @@ func TestVersionedSGLAdmitsReaderPastNewerWriter(t *testing.T) {
 	}
 
 	// Fallback writer #2 takes over: version bumps while the lock stays
-	// held. The reader must now enter.
+	// held (bump-then-wake, as lockGL does). The reader must now enter.
 	e.Add(l.glVer, 1)
+	l.gl.Wake()
 	select {
 	case <-inCS:
 	case <-time.After(2 * time.Second):

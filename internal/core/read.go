@@ -2,7 +2,9 @@ package core
 
 import (
 	"sprwl/internal/env"
+	"sprwl/internal/locks"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 	"sprwl/internal/rwlock"
 )
 
@@ -125,13 +127,28 @@ func (h *handle) readersWait(csID int) {
 			l.e.WaitUntil(t)
 		}
 	}
-	for l.e.Load(l.stateAddr(wait)) == stateWriter {
-		l.e.Yield()
+	// Spin-then-park on the writer's state word; the writer's retirement
+	// store in finishWrite is followed by the wake. The writer's
+	// advertised end time predicts the remaining wait (the §3.2.1
+	// estimator feeds it), sending long waits straight to the parker —
+	// the prediction load is gated on CanPark so spin-only environments
+	// (the simulator's default) execute the historical access sequence.
+	w := park.Waiter{E: l.e, P: l.parker, Pol: park.SpinPark()}
+	a := l.stateAddr(wait)
+	for l.e.Load(a) == stateWriter {
+		var remaining uint64
+		if w.CanPark() {
+			if t := l.e.Load(l.clockWAddr(wait)); t > l.e.Now() {
+				remaining = t - l.e.Now()
+			}
+		}
+		w.Pause(a, stateWriter, remaining)
 	}
 	if h.slot >= 0 {
 		l.e.Store(l.waitingForAddr(h.slot), 0)
 	}
 	h.ring.Wait(obs.WaitRSync, obs.Reader, csID, waitStart, l.e.Now())
+	w.ReportParks(h.ring, obs.Reader, csID)
 }
 
 // flagReaderAndSyncGL publishes the reader's presence and resolves the
@@ -162,7 +179,7 @@ func (h *handle) flagReaderAndSyncGL(csID int) {
 		// the safety handshake. (VersionedSGL readers must not park
 		// here — §3.3 lets them overtake newer fallback writers.)
 		if !vsgl {
-			h.spinWhileGLHeld(obs.Reader, csID)
+			h.awaitGLClear(obs.Reader, csID)
 		}
 		h.flagReader()
 		if !l.gl.IsLocked() {
@@ -170,26 +187,38 @@ func (h *handle) flagReaderAndSyncGL(csID int) {
 		}
 		h.unflagReader()
 		if !vsgl {
-			h.spinWhileGLHeld(obs.Reader, csID)
+			h.awaitGLClear(obs.Reader, csID)
 			continue
 		}
 		// Register against the observed version, validating that the
 		// version did not advance concurrently — a writer that bumps
 		// the version after the validation read must scan readerVer
-		// after its bump, and therefore sees the registration.
+		// after its bump, and therefore sees the registration. Each
+		// registration store is followed by a wake: a fallback writer
+		// may be parked on this word from its §3.3 drain, and a store
+		// that moves the registration past its version must not leave
+		// it asleep.
 		var observed uint64
 		for {
 			observed = l.e.Load(l.glVer)
 			l.e.Store(l.readerVerAddr(h.slot), observed+1)
+			l.wakes.Wake(l.readerVerAddr(h.slot))
 			if l.e.Load(l.glVer) == observed {
 				break
 			}
 		}
+		// Wait for the lock to clear or the version to move past us,
+		// parking on the lock word: both exits are preceded by a wake
+		// on it (SpinMutex.Unlock after a release; lockGL's explicit
+		// wake after a version bump).
 		waitStart := l.e.Now()
+		w := h.glWaiter()
+		glAddr := l.gl.Addr()
 		for l.gl.IsLocked() && l.e.Load(l.glVer) <= observed {
-			l.e.Yield()
+			w.Pause(glAddr, locks.SpinLocked, 0)
 		}
 		h.ring.Wait(obs.WaitGL, obs.Reader, csID, waitStart, l.e.Now())
+		w.ReportParks(h.ring, obs.Reader, csID)
 		if l.gl.IsLocked() {
 			// The version moved past us: the current fallback
 			// writer is gated on our registration. Flag first,
@@ -223,8 +252,10 @@ func (h *handle) flagReader() {
 	if l.opts.VersionedSGL && h.slot >= 0 {
 		// Retire any §3.3 wait registration only after the flag is
 		// visible, so a gated fallback writer always sees one or the
-		// other.
+		// other; then wake the fallback writer possibly parked on the
+		// registration word (store-then-wake).
 		l.e.Store(l.readerVerAddr(h.slot), 0)
+		l.wakes.Wake(l.readerVerAddr(h.slot))
 	}
 }
 

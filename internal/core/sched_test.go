@@ -60,6 +60,7 @@ func TestTimedReaderWaitUsesWriterClock(t *testing.T) {
 		e.Yield()
 	}
 	e.Store(l.stateAddr(0), stateEmpty)
+	l.wakes.Wake(l.stateAddr(0))
 
 	select {
 	case at := <-entered:
@@ -156,7 +157,7 @@ func TestVersionedSGLWriterGatesOnRegistration(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		close(started)
-		h.lockGL() // bumps the version, then must wait for the registration
+		h.lockGL(0) // bumps the version, then must wait for the registration
 		l.e.Store(data, 1)
 		l.gl.Unlock()
 		close(done)
@@ -169,6 +170,7 @@ func TestVersionedSGLWriterGatesOnRegistration(t *testing.T) {
 	}
 	// Retiring the registration releases the writer.
 	e.Store(l.readerVerAddr(1), 0)
+	l.wakes.Wake(l.readerVerAddr(1))
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):

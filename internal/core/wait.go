@@ -1,0 +1,32 @@
+package core
+
+import (
+	"sprwl/internal/locks"
+	"sprwl/internal/obs"
+	"sprwl/internal/park"
+)
+
+// This file is the lock's only waiting machinery: every blocking loop in
+// the read and write paths routes through the spin-then-park waiters below
+// (package park), so the spin/park policy and the phase-word protocol live
+// in one place instead of being re-derived at each call site.
+
+// glWaiter builds the spin-then-park waiter for fallback-lock waits.
+func (h *handle) glWaiter() park.Waiter {
+	return park.Waiter{E: h.l.e, P: h.l.parker, Pol: park.SpinPark()}
+}
+
+// awaitGLClear blocks until the fallback lock is free, parking on the lock
+// word once the spin budget runs out, and reports the stall as a WaitGL
+// event when one actually occurred. It is the shared pre-wait of the reader
+// flag-and-check loop (Alg. 1 lines 28–32) and the writer attempt loop
+// (Alg. 1 line 34); the SpinMutex release wakes parked waiters.
+func (h *handle) awaitGLClear(rw uint8, csID int) {
+	l := h.l
+	w := h.glWaiter()
+	a := l.gl.Addr()
+	for l.gl.IsLocked() {
+		w.Pause(a, locks.SpinLocked, 0)
+	}
+	w.Report(h.ring, obs.WaitGL, rw, csID)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sprwl/internal/env"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 	"sprwl/internal/rwlock"
 )
 
@@ -47,7 +48,7 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 	for {
 		// Alg. 1 line 34: do not even start while the fallback lock
 		// is held — the subscription inside would abort us at once.
-		h.spinWhileGLHeld(obs.Writer, csID)
+		h.awaitGLClear(obs.Writer, csID)
 		bodyStart := l.e.Now()
 		cause := l.e.Attempt(h.slot, env.TxOpts{}, h.txWrite)
 		if cause == env.Committed {
@@ -74,7 +75,7 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 // global lock, drain active readers, run directly.
 func (h *handle) writeFallback(csID int, start uint64, body rwlock.Body) {
 	l := h.l
-	h.lockGL()
+	h.lockGL(csID)
 	glAcquired := l.e.Now()
 	h.waitForReaders(csID)
 	bodyStart := l.e.Now()
@@ -87,11 +88,17 @@ func (h *handle) writeFallback(csID int, start uint64, body rwlock.Body) {
 }
 
 // finishWrite retires the writer flag (after the commit, per Alg. 2's
-// unlock order) and records bookkeeping.
+// unlock order) and records bookkeeping. The retirement store is the phase
+// word synchronized readers park on, so every writer-retire path is
+// store-then-wake.
 func (h *handle) finishWrite(csID int, start uint64, mode env.CommitMode) {
 	l := h.l
 	if l.opts.ReaderSync && h.slot >= 0 {
 		l.e.Store(l.stateAddr(h.slot), stateEmpty)
+		l.wakes.Wake(l.stateAddr(h.slot))
+		if l.wakes.Enabled() {
+			h.ring.Park(obs.ParkWake, obs.Writer, csID, l.e.Now(), 0)
+		}
 	}
 	h.ring.Section(obs.Writer, csID, mode, start, l.e.Now())
 }
@@ -150,13 +157,19 @@ func (h *handle) writerWait(csID int) {
 // registered against an older version. The registration scan precedes
 // waitForReaders; a reader moving from registration to flag does so in the
 // opposite order, so it is visible in at least one scan at every moment.
-func (h *handle) lockGL() {
+func (h *handle) lockGL(csID int) {
 	l := h.l
 	l.gl.Lock()
 	if !l.opts.VersionedSGL {
 		return
 	}
 	myver := l.e.Add(l.glVer, 1)
+	// The bump is the phase store §3.3 readers parked on the lock word
+	// are watching for (it lets them overtake us), so wake them.
+	l.gl.Wake()
+	// Drain readers registered against older versions, parking on each
+	// registration word; readers follow every store to it with a wake.
+	w := park.Waiter{E: l.e, P: l.parker, Pol: park.SpinPark()}
 	for i := 0; i < l.threads; i++ {
 		if i == h.slot {
 			continue
@@ -167,9 +180,10 @@ func (h *handle) lockGL() {
 			if rv == 0 || rv-1 >= myver {
 				break
 			}
-			l.e.Yield()
+			w.Pause(a, rv, 0)
 		}
 	}
+	w.Report(h.ring, obs.WaitDrain, obs.Writer, csID)
 }
 
 // waitForReaders is Alg. 1's wait_for_readers, executed after acquiring the

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,7 +10,9 @@ import (
 	"sprwl/internal/core"
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
 	"sprwl/internal/rwlock"
+	"sprwl/internal/stats"
 )
 
 // Readers-at-scale sweep: the three reader-indicator backends (flag array,
@@ -163,6 +166,134 @@ func RunReadersPoint(spec readersBackendSpec, g int, wallNanos uint64) (Point, e
 	return pt, nil
 }
 
+// Oversubscription leg: the same read-heavy loop, but with far more reader
+// goroutines than scheduler procs, comparing spin-only waiting against
+// spin-then-park. GOMAXPROCS is pinned low so waiting actually contends for
+// quanta: a spinning waiter then burns a timeslice the lock holder (or the
+// writer's drain scan) needed, which is precisely the regime parking is
+// for. The wait profiler is attached, so each point also reports how many
+// stalled reader cycles were burned spinning versus slept parked.
+const oversubProcs = 4
+
+// oversubGoroutineCounts is the oversubscription sweep axis (GOMAXPROCS is
+// pinned to oversubProcs, so every count here is heavily oversubscribed).
+func oversubGoroutineCounts(quick bool) []int {
+	if quick {
+		return []int{64, 256}
+	}
+	return []int{64, 128, 256, 512, 1024}
+}
+
+// RunOversubPoint measures one oversubscribed point: g dynamic SNZI readers
+// in a tight uninstrumented-read loop plus one paced writer, with waiter
+// parking on or off, the wait profiler attached, for wallNanos of wall
+// clock. The returned point carries the reader-side wait attribution
+// (SpinWaitCycles vs ParkedCycles); the caller is expected to have pinned
+// GOMAXPROCS.
+func RunOversubPoint(g int, parking bool, wallNanos uint64) (Point, error) {
+	opts := core.NoSchedOptions()
+	opts.ReaderHTMFirst = false
+	opts.UseSNZI = true
+
+	space, err := htm.NewSpace(htm.Config{
+		Threads: 1,
+		Words:   core.WordsFor(1, opts) + LockWords(1),
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	e := htm.NewRuntime(space, nil)
+	e.SetParking(parking)
+	ar := memmodel.NewArena(0, space.Size())
+
+	// Ring slot 0 is the writer; dynamic reader i records into ring 1+i.
+	prof := obs.NewProfileSink(1 + g)
+	col := stats.NewCollector(1 + g)
+	pipe := col.Pipeline(prof)
+	l, err := core.New(e, ar, 1, 2, opts, pipe)
+	if err != nil {
+		return Point{}, err
+	}
+	data := ar.AllocLines(1)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		h, err := l.NewDynamicHandleObserved(1 + i)
+		if err != nil {
+			return Point{}, err
+		}
+		wg.Add(1)
+		go func(h rwlock.Handle) {
+			defer wg.Done()
+			body := func(acc memmodel.Accessor) { _ = acc.Load(data) }
+			for !stop.Load() {
+				h.Read(0, body)
+			}
+		}(h)
+	}
+
+	w := l.NewHandle(0)
+	start := e.Now()
+	deadline := start + wallNanos
+	body := func(acc memmodel.Accessor) { acc.Store(data, acc.Load(data)+1) }
+	for e.Now() < deadline {
+		w.Write(1, body)
+		e.WaitUntil(e.Now() + readersWritePaceNanos)
+	}
+	stop.Store(true)
+	wg.Wait()
+	elapsed := e.Now() - start
+	pipe.Flush()
+
+	algo := AlgoSpRWL + "/spin"
+	if parking {
+		algo = AlgoSpRWL + "/park"
+	}
+	pt := pointFrom(algo, g, col.Snapshot(), elapsed)
+	// Reader-side wait attribution only: the herd is what is
+	// oversubscribed, and the writer's indicator-drain scan spins in both
+	// configurations by design.
+	for _, c := range prof.Profiles() {
+		if c.RW != obs.Reader {
+			continue
+		}
+		pt.SpinWaitCycles += c.SpinWait()
+		pt.ParkedCycles += c.ParkedCycles
+		pt.Parks += c.Parks
+	}
+	return pt, nil
+}
+
+// OversubSweep runs the spin-only vs spin-then-park oversubscription matrix
+// with GOMAXPROCS pinned to oversubProcs, returning one section of the
+// readers report.
+func OversubSweep(opts RunOpts) (Section, error) {
+	wall := uint64(readersWallNanos)
+	if opts.Quick {
+		wall = readersQuickWallNanos
+	}
+	sec := Section{Title: fmt.Sprintf(
+		"oversubscription, GOMAXPROCS=%d: spin-only vs spin-then-park (spin/parked = reader wait cycles burned spinning vs slept parked)",
+		oversubProcs)}
+	prev := runtime.GOMAXPROCS(oversubProcs)
+	defer runtime.GOMAXPROCS(prev)
+	for _, g := range oversubGoroutineCounts(opts.Quick) {
+		for _, parking := range []bool{false, true} {
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("oversub g=%d parking=%t", g, parking))
+			}
+			pt, err := RunOversubPoint(g, parking, wall)
+			if err != nil {
+				return Section{}, err
+			}
+			sec.Points = append(sec.Points, pt)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return sec, nil
+}
+
 // ReadersSweep runs the full backend × goroutine-count matrix. Points run
 // sequentially (never in parallel) — each one wants the whole machine.
 func ReadersSweep(opts RunOpts) (*Report, error) {
@@ -197,5 +328,12 @@ func ReadersSweep(opts RunOpts) (*Report, error) {
 			time.Sleep(2 * time.Millisecond)
 		}
 	}
+	oversub, err := OversubSweep(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("oversubscription leg: GOMAXPROCS pinned to %d, %v dynamic readers, spin-only vs spin-then-park waiters", oversubProcs, oversubGoroutineCounts(opts.Quick)))
+	rep.Sections = append(rep.Sections, oversub)
 	return rep, nil
 }

@@ -40,6 +40,15 @@ type Point struct {
 	// Mean and tail (p99) end-to-end latencies in cycles.
 	ReaderLatency, WriterLatency float64
 	ReaderP99, WriterP99         uint64
+
+	// Wait-profiler attribution, filled only by sweeps that attach the
+	// profiler (the oversubscription points): cycles stalled threads
+	// burned actually spinning, cycles they slept parked instead, and the
+	// number of park episodes. Omitted from JSON when zero so the
+	// simulated baselines' byte layout is unchanged.
+	SpinWaitCycles uint64 `json:",omitempty"`
+	ParkedCycles   uint64 `json:",omitempty"`
+	Parks          uint64 `json:",omitempty"`
 }
 
 func pointFrom(algo string, threads int, snap stats.Snapshot, cycles uint64) Point {

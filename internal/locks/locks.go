@@ -18,95 +18,68 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 )
 
-// SpinMutex is a test-and-test-and-set spin lock on a single simulated
-// word. It is the single-global-lock (SGL) fallback primitive of the
+// SpinLocked is the value a held SpinMutex's word reads — the expected
+// value waiters park on.
+const SpinLocked = uint64(1)
+
+// SpinMutex is a test-and-test-and-set lock on a single simulated word,
+// with spin-then-park waiting (package park) on environments that provide
+// a parker. It is the single-global-lock (SGL) fallback primitive of the
 // HTM-based algorithms and the building block of BRLock and PRWL.
 type SpinMutex struct {
-	e env.Env
-	a memmodel.Addr
+	e   env.Env
+	a   memmodel.Addr
+	hub park.Hub
 }
 
 // NewSpinMutex builds a mutex over the word at a, which must read zero
 // (unlocked).
 func NewSpinMutex(e env.Env, a memmodel.Addr) SpinMutex {
-	return SpinMutex{e: e, a: a}
+	return SpinMutex{e: e, a: a, hub: park.HubFor(e)}
 }
 
 // Addr returns the lock word's address, for transactional subscription.
 func (m SpinMutex) Addr() memmodel.Addr { return m.a }
 
-// Lock acquires the mutex, spinning with test-and-test-and-set.
+// Lock acquires the mutex: test-and-test-and-set with spin-then-park.
 func (m SpinMutex) Lock() {
+	w := park.Waiter{E: m.e, P: m.hub.Parker(), Pol: park.SpinPark()}
 	for {
-		if m.e.Load(m.a) == 0 && m.e.CAS(m.a, 0, 1) {
+		if m.e.Load(m.a) == 0 && m.e.CAS(m.a, 0, SpinLocked) {
 			return
 		}
-		m.e.Yield()
+		w.Pause(m.a, SpinLocked, 0)
 	}
 }
 
 // TryLock attempts a single acquisition.
 func (m SpinMutex) TryLock() bool {
-	return m.e.Load(m.a) == 0 && m.e.CAS(m.a, 0, 1)
+	return m.e.Load(m.a) == 0 && m.e.CAS(m.a, 0, SpinLocked)
 }
 
-// Unlock releases the mutex.
-func (m SpinMutex) Unlock() { m.e.Store(m.a, 0) }
+// Unlock releases the mutex and wakes parked waiters (store-then-wake).
+func (m SpinMutex) Unlock() {
+	m.e.Store(m.a, 0)
+	m.hub.Wake(m.a)
+}
+
+// Wake re-wakes parked waiters without changing the lock word, for owners
+// whose release consists of a phase store elsewhere (the §3.3 versioned
+// SGL bumps its version while the lock stays held).
+func (m SpinMutex) Wake() { m.hub.Wake(m.a) }
 
 // IsLocked reports the lock word's current state.
 func (m SpinMutex) IsLocked() bool { return m.e.Load(m.a) != 0 }
 
-// The paper's pessimistic baselines are pthread-style locks: a waiter spins
-// briefly and then blocks in the kernel, paying a wake-up latency when the
-// lock is released. Pure spinning would make these baselines unrealistically
-// responsive (no syscall, no scheduler handoff), so their wait loops use a
-// spin-then-block waiter with the latency constants below.
-const (
-	// pessimisticSpinLimit is how many spin iterations precede blocking.
-	pessimisticSpinLimit = 20
-	// pessimisticWakeCycles models futex-wake plus scheduler latency.
-	pessimisticWakeCycles = 4000
-)
-
-// waiter is a spin-then-block wait strategy. It remembers when it first
-// paused so the stall can be reported as an observability event.
-type waiter struct {
-	e      env.Env
-	spins  int
-	waited bool
-	t0     uint64
-}
-
-// pause is called once per failed acquisition check.
-func (w *waiter) pause() {
-	if !w.waited {
-		w.waited = true
-		w.t0 = w.e.Now()
-	}
-	if w.spins < pessimisticSpinLimit {
-		w.spins++
-		w.e.Yield()
-		return
-	}
-	w.e.WaitUntil(w.e.Now() + pessimisticWakeCycles)
-}
-
-// report emits the accumulated stall as a WaitLock event, if any pause
-// occurred; an uncontended acquisition emits nothing.
-func (w *waiter) report(ring *obs.Ring, rw uint8, csID int) {
-	if w.waited {
-		ring.Wait(obs.WaitLock, rw, csID, w.t0, w.e.Now())
-	}
-}
-
-// blockingLock acquires m with the pessimistic wait strategy, reporting the
-// stall (if any) through ring.
+// blockingLock acquires m with the pessimistic spin-then-block wait
+// strategy (park.Pessimistic), reporting the stall (if any) through ring.
 func blockingLock(e env.Env, m SpinMutex, ring *obs.Ring, rw uint8, csID int) {
-	w := waiter{e: e}
+	w := park.Waiter{E: e, P: m.hub.Parker(), Pol: park.Pessimistic()}
 	for !m.TryLock() {
-		w.pause()
+		w.Pause(m.a, SpinLocked, 0)
 	}
-	w.report(ring, rw, csID)
+	w.Report(ring, obs.WaitLock, rw, csID)
 }

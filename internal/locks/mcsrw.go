@@ -4,6 +4,7 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 	"sprwl/internal/rwlock"
 )
 
@@ -24,6 +25,7 @@ type MCSRW struct {
 	rdrCount   memmodel.Addr
 	nextWriter memmodel.Addr // qnode address, 0 = none
 	nodes      memmodel.Addr // one line per thread
+	hub        park.Hub
 	pipe       *obs.Pipeline
 }
 
@@ -54,6 +56,7 @@ func NewMCSRW(e env.Env, ar *memmodel.Arena, threads int, pipe *obs.Pipeline) *M
 		rdrCount:   ar.AllocLines(1),
 		nextWriter: ar.AllocLines(1),
 		nodes:      ar.AllocLines(threads),
+		hub:        park.HubFor(e),
 		pipe:       pipe,
 	}
 }
@@ -80,9 +83,38 @@ func (l *MCSRW) casState(n memmodel.Addr, f func(uint64) uint64) uint64 {
 	}
 }
 
-// unblock clears a node's blocked bit, preserving its successor class.
+// unblock clears a node's blocked bit, preserving its successor class, and
+// wakes the node's owner if it parked on the state word (store-then-wake).
 func (l *MCSRW) unblock(n memmodel.Addr) {
 	l.casState(n, func(s uint64) uint64 { return s &^ mcsBlocked })
+	l.hub.Wake(n + qState)
+}
+
+// linkNext publishes n as pred's queue successor and wakes pred's owner,
+// which may be parked on its next pointer during exit handoff.
+func (l *MCSRW) linkNext(pred, n memmodel.Addr) {
+	l.e.Store(pred+qNext, uint64(n))
+	l.hub.Wake(pred + qNext)
+}
+
+// awaitUnblocked waits until n's blocked bit clears, parking on the state
+// word.
+func (l *MCSRW) awaitUnblocked(w *park.Waiter, n memmodel.Addr) {
+	for {
+		s := l.e.Load(n + qState)
+		if s&mcsBlocked == 0 {
+			return
+		}
+		w.Pause(n+qState, s, 0)
+	}
+}
+
+// awaitNext waits until n's successor pointer is published, parking on the
+// next word. Callers re-load the pointer afterwards.
+func (l *MCSRW) awaitNext(w *park.Waiter, n memmodel.Addr) {
+	for l.e.Load(n+qNext) == 0 {
+		w.Pause(n+qNext, 0, 0)
+	}
 }
 
 type mcsHandle struct {
@@ -110,25 +142,21 @@ func (h *mcsHandle) Read(csID int, body rwlock.Body) {
 		adopted := l.e.Load(pred+qClass) == mcsWriting ||
 			l.e.CAS(pred+qState, mcsBlocked|mcsSuccNone, mcsBlocked|mcsSuccRdr)
 		if adopted {
-			l.e.Store(pred+qNext, uint64(I))
-			w := waiter{e: l.e}
-			for l.e.Load(I+qState)&mcsBlocked != 0 {
-				w.pause()
-			}
-			w.report(h.ring, obs.Reader, csID)
+			l.linkNext(pred, I)
+			w := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
+			l.awaitUnblocked(&w, I)
+			w.Report(h.ring, obs.WaitLock, obs.Reader, csID)
 		} else {
 			l.e.Add(l.rdrCount, 1)
-			l.e.Store(pred+qNext, uint64(I))
+			l.linkNext(pred, I)
 			l.unblock(I)
 		}
 	}
 	// Admit a reader successor that queued behind us while we were
 	// blocked (consecutive readers enter together).
 	if l.e.Load(I+qState)&mcsSuccMask == mcsSuccRdr {
-		w := waiter{e: l.e}
-		for l.e.Load(I+qNext) == 0 {
-			w.pause()
-		}
+		w := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
+		l.awaitNext(&w, I)
 		l.e.Add(l.rdrCount, 1)
 		l.unblock(memmodel.Addr(l.e.Load(I + qNext)))
 	}
@@ -138,10 +166,8 @@ func (h *mcsHandle) Read(csID int, body rwlock.Body) {
 	// Exit: detach from the queue, handing a queued writer to the
 	// next-writer slot; the last reader out wakes it.
 	if l.e.Load(I+qNext) != 0 || !l.e.CAS(l.tail, uint64(I), 0) {
-		w := waiter{e: l.e}
-		for l.e.Load(I+qNext) == 0 {
-			w.pause()
-		}
+		w := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
+		l.awaitNext(&w, I)
 		if l.e.Load(I+qState)&mcsSuccMask == mcsSuccWrt {
 			l.e.Store(l.nextWriter, l.e.Load(I+qNext))
 		}
@@ -172,13 +198,11 @@ func (h *mcsHandle) Write(csID int, body rwlock.Body) {
 		// Announce ourselves as the writer successor before linking,
 		// so an exiting reader predecessor cannot miss us.
 		l.casState(pred, func(s uint64) uint64 { return (s &^ mcsSuccMask) | mcsSuccWrt })
-		l.e.Store(pred+qNext, uint64(I))
+		l.linkNext(pred, I)
 	}
-	w := waiter{e: l.e}
-	for l.e.Load(I+qState)&mcsBlocked != 0 {
-		w.pause()
-	}
-	w.report(h.ring, obs.Writer, csID)
+	w := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
+	l.awaitUnblocked(&w, I)
+	w.Report(h.ring, obs.WaitLock, obs.Writer, csID)
 
 	body(l.e)
 
@@ -186,10 +210,8 @@ func (h *mcsHandle) Write(csID int, body rwlock.Body) {
 	if l.e.Load(I+qNext) != 0 || !l.e.CAS(l.tail, uint64(I), 0) {
 		// Track the handoff wait separately, but keep the waiter's spin
 		// budget: the seed semantics carry exhausted spins into this loop.
-		w.waited, w.t0 = false, 0
-		for l.e.Load(I+qNext) == 0 {
-			w.pause()
-		}
+		w.Restart()
+		l.awaitNext(&w, I)
 		next := memmodel.Addr(l.e.Load(I + qNext))
 		if l.e.Load(next+qClass) == mcsReading {
 			l.e.Add(l.rdrCount, 1)

@@ -4,6 +4,7 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 	"sprwl/internal/rwlock"
 )
 
@@ -20,6 +21,7 @@ import (
 type PFRWL struct {
 	e                    env.Env
 	rin, rout, win, wout memmodel.Addr
+	hub                  park.Hub
 	pipe                 *obs.Pipeline
 }
 
@@ -40,6 +42,7 @@ func NewPFRWL(e env.Env, ar *memmodel.Arena, pipe *obs.Pipeline) *PFRWL {
 		rout: ar.AllocLines(1),
 		win:  ar.AllocLines(1),
 		wout: ar.AllocLines(1),
+		hub:  park.HubFor(e),
 		pipe: pipe,
 	}
 }
@@ -68,14 +71,21 @@ func (h *pfHandle) Read(csID int, body rwlock.Body) {
 		// writer leaves, or a new writer with a different phase bit
 		// takes over — either way we are admitted after at most one
 		// full writer phase).
-		wt := waiter{e: l.e}
-		for l.e.Load(l.rin)&pfWriterBits == w {
-			wt.pause()
+		wt := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
+		for {
+			x := l.e.Load(l.rin)
+			if x&pfWriterBits != w {
+				break
+			}
+			wt.Pause(l.rin, x, 0)
 		}
-		wt.report(h.ring, obs.Reader, csID)
+		wt.Report(h.ring, obs.WaitLock, obs.Reader, csID)
 	}
 	body(l.e)
+	// Exit: the departure is the phase store writers drain on, so it is
+	// followed by a wake.
 	l.e.Add(l.rout, pfReaderInc)
+	l.hub.Wake(l.rout)
 	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, l.e.Now())
 }
 
@@ -84,30 +94,40 @@ func (h *pfHandle) Write(csID int, body rwlock.Body) {
 	l := h.l
 	// Writers serialize on tickets.
 	ticket := l.e.Add(l.win, 1) - 1
-	wt := waiter{e: l.e}
-	for l.e.Load(l.wout) != ticket {
-		wt.pause()
+	wt := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
+	for {
+		x := l.e.Load(l.wout)
+		if x == ticket {
+			break
+		}
+		wt.Pause(l.wout, x, 0)
 	}
-	wt.report(h.ring, obs.Writer, csID)
+	wt.Report(h.ring, obs.WaitLock, obs.Writer, csID)
 	// Announce presence with the phase bit of our ticket, blocking new
 	// readers, and capture the reader count at entry.
 	w := pfPresent | (ticket & pfPhase)
 	rticket := (l.e.Add(l.rin, w) - w) &^ pfWriterBits
 	// Wait for the readers that preceded us to drain.
-	wt = waiter{e: l.e}
-	for l.e.Load(l.rout) != rticket {
-		wt.pause()
+	wt = park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
+	for {
+		x := l.e.Load(l.rout)
+		if x == rticket {
+			break
+		}
+		wt.Pause(l.rout, x, 0)
 	}
-	wt.report(h.ring, obs.Writer, csID)
+	wt.Report(h.ring, obs.WaitLock, obs.Writer, csID)
 	body(l.e)
 	// Release: clear the writer bits (admitting blocked readers), then
-	// pass the ticket baton.
+	// pass the ticket baton — each phase store followed by its wake.
 	for {
 		x := l.e.Load(l.rin)
 		if l.e.CAS(l.rin, x, x&^pfWriterBits) {
 			break
 		}
 	}
+	l.hub.Wake(l.rin)
 	l.e.Add(l.wout, 1)
+	l.hub.Wake(l.wout)
 	h.ring.Section(obs.Writer, csID, env.ModePessimistic, start, l.e.Now())
 }

@@ -4,6 +4,7 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 	"sprwl/internal/rwlock"
 )
 
@@ -22,6 +23,7 @@ type PRWL struct {
 	wmutex  SpinMutex
 	status  memmodel.Addr // per-thread line: version<<1 | active
 	threads int
+	hub     park.Hub
 	pipe    *obs.Pipeline
 }
 
@@ -36,6 +38,7 @@ func NewPRWL(e env.Env, ar *memmodel.Arena, threads int, pipe *obs.Pipeline) *PR
 		wmutex:  NewSpinMutex(e, ar.AllocLines(1)),
 		status:  ar.AllocLines(threads),
 		threads: threads,
+		hub:     park.HubFor(e),
 		pipe:    pipe,
 	}
 }
@@ -70,15 +73,19 @@ func (h *prwlHandle) Read(csID int, body rwlock.Body) {
 		if l.e.Load(l.version) == v && !l.wmutex.IsLocked() {
 			break
 		}
+		// Retract: the store is a phase word a draining writer may be
+		// parked on, so wake it (store-then-wake).
 		l.e.Store(st, 0)
-		wt := waiter{e: l.e}
+		l.hub.Wake(st)
+		wt := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
 		for l.wmutex.IsLocked() {
-			wt.pause()
+			wt.Pause(l.wmutex.Addr(), SpinLocked, 0)
 		}
-		wt.report(h.ring, obs.Reader, csID)
+		wt.Report(h.ring, obs.WaitLock, obs.Reader, csID)
 	}
 	body(l.e)
 	l.e.Store(st, 0)
+	l.hub.Wake(st)
 	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, l.e.Now())
 }
 
@@ -92,15 +99,15 @@ func (h *prwlHandle) Write(csID int, body rwlock.Body) {
 	// check keeps the scheme correct if reader admission is relaxed).
 	for i := 0; i < l.threads; i++ {
 		st := l.statusAddr(i)
-		wt := waiter{e: l.e}
+		wt := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
 		for {
 			s := l.e.Load(st)
 			if s&1 == 0 || s>>1 >= newv {
 				break
 			}
-			wt.pause()
+			wt.Pause(st, s, 0)
 		}
-		wt.report(h.ring, obs.Writer, csID)
+		wt.Report(h.ring, obs.WaitLock, obs.Writer, csID)
 	}
 	body(l.e)
 	l.wmutex.Unlock()

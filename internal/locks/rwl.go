@@ -4,6 +4,7 @@ import (
 	"sprwl/internal/env"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/obs"
+	"sprwl/internal/park"
 	"sprwl/internal/rwlock"
 )
 
@@ -17,6 +18,7 @@ import (
 type RWL struct {
 	e    env.Env
 	word memmodel.Addr
+	hub  park.Hub
 	pipe *obs.Pipeline
 }
 
@@ -32,7 +34,7 @@ var _ rwlock.Lock = (*RWL)(nil)
 
 // NewRWL carves the lock out of the arena. pipe may be nil.
 func NewRWL(e env.Env, ar *memmodel.Arena, pipe *obs.Pipeline) *RWL {
-	return &RWL{e: e, word: ar.AllocLines(1), pipe: pipe}
+	return &RWL{e: e, word: ar.AllocLines(1), hub: park.HubFor(e), pipe: pipe}
 }
 
 // Name implements rwlock.Lock.
@@ -52,7 +54,7 @@ type rwlHandle struct {
 func (h *rwlHandle) Read(csID int, body rwlock.Body) {
 	start := h.l.e.Now()
 	l := h.l
-	w := waiter{e: l.e}
+	w := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
 	for {
 		x := l.e.Load(l.word)
 		if x&(rwlWaitingMask|rwlActiveWriter) == 0 {
@@ -61,11 +63,15 @@ func (h *rwlHandle) Read(csID int, body rwlock.Body) {
 			}
 			continue
 		}
-		w.pause()
+		w.Pause(l.word, x, 0)
 	}
-	w.report(h.ring, obs.Reader, csID)
+	w.Report(h.ring, obs.WaitLock, obs.Reader, csID)
 	body(l.e)
-	l.e.Add(l.word, ^uint64(0)) // readers--
+	// readers--; the last reader out wakes writers waiting for the count
+	// to drain (store-then-wake).
+	if l.e.Add(l.word, ^uint64(0))&rwlReaderMask == 0 {
+		l.hub.Wake(l.word)
+	}
 	h.ring.Section(obs.Reader, csID, env.ModePessimistic, start, l.e.Now())
 }
 
@@ -73,7 +79,7 @@ func (h *rwlHandle) Write(csID int, body rwlock.Body) {
 	start := h.l.e.Now()
 	l := h.l
 	l.e.Add(l.word, rwlWaitingUnit)
-	w := waiter{e: l.e}
+	w := park.Waiter{E: l.e, P: l.hub.Parker(), Pol: park.Pessimistic()}
 	for {
 		x := l.e.Load(l.word)
 		if x&rwlReaderMask == 0 && x&rwlActiveWriter == 0 {
@@ -82,10 +88,13 @@ func (h *rwlHandle) Write(csID int, body rwlock.Body) {
 			}
 			continue
 		}
-		w.pause()
+		w.Pause(l.word, x, 0)
 	}
-	w.report(h.ring, obs.Writer, csID)
+	w.Report(h.ring, obs.WaitLock, obs.Writer, csID)
 	body(l.e)
-	l.e.Add(l.word, ^(rwlActiveWriter)+1) // clear the active flag
+	// Clear the active flag and wake both blocked readers and the next
+	// writer (store-then-wake).
+	l.e.Add(l.word, ^(rwlActiveWriter)+1)
+	l.hub.Wake(l.word)
 	h.ring.Section(obs.Writer, csID, env.ModePessimistic, start, l.e.Now())
 }

@@ -82,6 +82,13 @@ const (
 	// self-tuning backend switch. Code is a Readers* code; instant.
 	EvReaders
 
+	// EvPark is one waiter-parking lifecycle event (package park): a
+	// parked span inside a wait, a wake issued on a phase word, or a
+	// spin-abandoned marker. Code is a Park* code; ParkParked is a span
+	// (Dur = cycles spent parked, a subset of the enclosing EvWait),
+	// the others are instant.
+	EvPark
+
 	numKinds
 )
 
@@ -100,8 +107,41 @@ func (k Kind) String() string {
 		return "tx"
 	case EvReaders:
 		return "readers"
+	case EvPark:
+		return "park"
 	default:
 		return "none"
+	}
+}
+
+// Waiter-parking event codes (EvPark.Code).
+const (
+	// ParkParked: the cycles of one wait episode spent parked (asleep)
+	// rather than spinning; Dur carries the parked span.
+	ParkParked uint8 = iota
+	// ParkWake: a release path issued a wake on a phase word after its
+	// phase store (writer retire, fallback-lock release).
+	ParkWake
+	// ParkSpinAbandon: a waiter exhausted its spin budget and parked —
+	// the preceding spin was wasted CPU, which is the signal the
+	// oversubscription sweep tracks.
+	ParkSpinAbandon
+
+	// NumParkCodes sizes per-code accumulator arrays.
+	NumParkCodes
+)
+
+// ParkCodeString returns the label for an EvPark code.
+func ParkCodeString(code uint8) string {
+	switch code {
+	case ParkParked:
+		return "parked"
+	case ParkWake:
+		return "wake"
+	case ParkSpinAbandon:
+		return "spin-abandon"
+	default:
+		return "unknown"
 	}
 }
 
@@ -290,6 +330,18 @@ func (r *Ring) Tx(cs int, cause env.AbortCause, start, end uint64) {
 		return
 	}
 	r.Record(Event{TS: start, Dur: end - start, CS: int32(cs), Kind: EvTx, Code: uint8(cause)})
+}
+
+// Park records one waiter-parking lifecycle event (a Park* code) of side
+// rw: a parked span ([start, start+dur], code ParkParked) or an instant
+// wake / spin-abandon marker (dur 0).
+//
+//sprwl:hotpath
+func (r *Ring) Park(code uint8, rw uint8, cs int, start, dur uint64) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{TS: start, Dur: dur, CS: int32(cs), Kind: EvPark, RW: rw, Code: code})
 }
 
 // Readers records one reader-indicator lifecycle event (a Readers* code)

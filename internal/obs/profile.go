@@ -29,9 +29,17 @@ type ProfileSink struct {
 // the section that absorbs them completes, mirroring record order: a
 // section's waits always precede its EvSection in the ring.
 type profSlot struct {
-	pendingWait [NumWaitReasons]uint64
-	seen        uint64
-	byKey       map[profKey]*CSProfile
+	pendingWait    [NumWaitReasons]uint64
+	pendingParked  uint64
+	pendingParks   uint64
+	pendingAbandon uint64
+	seen           uint64
+	byKey          map[profKey]*CSProfile
+}
+
+func (s *profSlot) clearPending() {
+	s.pendingWait = [NumWaitReasons]uint64{}
+	s.pendingParked, s.pendingParks, s.pendingAbandon = 0, 0, 0
 }
 
 type profKey struct {
@@ -52,6 +60,14 @@ type CSProfile struct {
 	WorkCycles uint64
 	// WaitCycles attributes stall time by reason (index with Wait*).
 	WaitCycles [NumWaitReasons]uint64
+	// ParkedCycles is the subset of WaitCycles spent parked (asleep)
+	// rather than spinning; Parks counts park episodes, SpinAbandons
+	// counts waits whose spin budget was exhausted before parking, and
+	// Wakes counts wakes issued by this section's release paths.
+	ParkedCycles uint64
+	Parks        uint64
+	SpinAbandons uint64
+	Wakes        uint64
 }
 
 // TotalWait sums the per-reason wait cycles.
@@ -61,6 +77,16 @@ func (p *CSProfile) TotalWait() uint64 {
 		n += w
 	}
 	return n
+}
+
+// SpinWait is the stalled time actually burned spinning: total wait minus
+// the parked share. This is the number the oversubscription sweep compares
+// between spin-only and spin-then-park configurations.
+func (p *CSProfile) SpinWait() uint64 {
+	if t := p.TotalWait(); t > p.ParkedCycles {
+		return t - p.ParkedCycles
+	}
+	return 0
 }
 
 // NewProfileSink builds a profile sink for n thread slots.
@@ -91,12 +117,24 @@ func (p *ProfileSink) Drain(slot int, events []Event) {
 			if ev.Code < NumWaitReasons {
 				s.pendingWait[ev.Code] += ev.Dur
 			}
+		case EvPark:
+			switch ev.Code {
+			case ParkParked:
+				s.pendingParked += ev.Dur
+				s.pendingParks++
+			case ParkSpinAbandon:
+				s.pendingAbandon++
+			case ParkWake:
+				// Wakes are issued on release paths, after the section
+				// completed; attribute them directly.
+				s.profile(ev.CS, ev.RW).Wakes++
+			}
 		case EvAbort:
 			s.profile(ev.CS, ev.RW).Aborts++
 		case EvSection:
 			s.seen++
 			if s.seen%every != 0 {
-				s.pendingWait = [NumWaitReasons]uint64{}
+				s.clearPending()
 				continue
 			}
 			c := s.profile(ev.CS, ev.RW)
@@ -106,7 +144,10 @@ func (p *ProfileSink) Drain(slot int, events []Event) {
 				c.WaitCycles[r] += w * every
 				waited += w
 			}
-			s.pendingWait = [NumWaitReasons]uint64{}
+			c.ParkedCycles += s.pendingParked * every
+			c.Parks += s.pendingParks * every
+			c.SpinAbandons += s.pendingAbandon * every
+			s.clearPending()
 			if ev.Dur > waited {
 				c.WorkCycles += (ev.Dur - waited) * every
 			}
@@ -141,6 +182,10 @@ func (p *ProfileSink) Profiles() []CSProfile {
 			for r := range c.WaitCycles {
 				m.WaitCycles[r] += c.WaitCycles[r]
 			}
+			m.ParkedCycles += c.ParkedCycles
+			m.Parks += c.Parks
+			m.SpinAbandons += c.SpinAbandons
+			m.Wakes += c.Wakes
 		}
 	}
 	out := make([]CSProfile, 0, len(merged))
@@ -176,6 +221,15 @@ func (p *ProfileSink) String() string {
 			if w := c.WaitCycles[r]; w > 0 {
 				parts = append(parts, fmt.Sprintf("%s=%d", WaitReasonString(r), w))
 			}
+		}
+		if c.ParkedCycles > 0 || c.Parks > 0 {
+			parts = append(parts, fmt.Sprintf("parked=%d/%d", c.ParkedCycles, c.Parks))
+		}
+		if c.SpinAbandons > 0 {
+			parts = append(parts, fmt.Sprintf("abandon=%d", c.SpinAbandons))
+		}
+		if c.Wakes > 0 {
+			parts = append(parts, fmt.Sprintf("wakes=%d", c.Wakes))
 		}
 		fmt.Fprintf(&b, "%-6d %-6s %10d %8d %14d %14d  %s\n",
 			c.CS, side, c.Sections, c.Aborts, c.WorkCycles, c.TotalWait(), strings.Join(parts, " "))

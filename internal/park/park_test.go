@@ -1,0 +1,265 @@
+package park
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprwl/internal/memmodel"
+)
+
+// words is a tiny race-safe phase-word store standing in for the simulated
+// address space: Park's re-check loads through it with the same
+// sequentially-consistent ordering the real runtimes provide. Flat array,
+// so test loads never allocate (the zero-alloc proofs depend on that).
+type words struct {
+	w [1 << 17]atomic.Uint64
+}
+
+func (s *words) load(a memmodel.Addr) uint64     { return s.w[a/8].Load() }
+func (s *words) store(a memmodel.Addr, v uint64) { s.w[a/8].Store(v) }
+
+func newTestTable() (*Table, *words) {
+	w := &words{}
+	return NewTable(w.load), w
+}
+
+const parkTestTimeout = 5 * time.Second
+
+// TestParkReturnsWhenValueChanged: the no-sleep fast path — the word no
+// longer holds the expected value, so Park returns without blocking.
+func TestParkReturnsWhenValueChanged(t *testing.T) {
+	tab, w := newTestTable()
+	a := memmodel.Addr(64)
+	w.store(a, 7)
+	done := make(chan struct{})
+	go func() {
+		tab.Park(a, 3) // word holds 7, expected 3: no sleep
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(parkTestTimeout):
+		t.Fatal("Park blocked although the word did not hold the expected value")
+	}
+	if n := tab.Waiters(); n != 0 {
+		t.Fatalf("Waiters() = %d after a no-sleep Park, want 0", n)
+	}
+}
+
+// TestParkWakeRoundtrip: a waiter sleeps while the word holds its expected
+// value and returns after the store-then-wake release sequence.
+func TestParkWakeRoundtrip(t *testing.T) {
+	tab, w := newTestTable()
+	a := memmodel.Addr(128)
+	w.store(a, 1)
+	done := make(chan struct{})
+	go func() {
+		for w.load(a) == 1 { // caller-side predicate re-check loop
+			tab.Park(a, 1)
+		}
+		close(done)
+	}()
+
+	// Wait until the goroutine is registered (and therefore either asleep
+	// or about to re-check under the shard lock).
+	deadline := time.Now().Add(parkTestTimeout)
+	for tab.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w.store(a, 2) // store first...
+	tab.Wake(a)   // ...then wake
+	select {
+	case <-done:
+	case <-time.After(parkTestTimeout):
+		t.Fatal("waiter not woken by store-then-wake")
+	}
+	if n := tab.Waiters(); n != 0 {
+		t.Fatalf("Waiters() = %d after wake, want 0", n)
+	}
+}
+
+// TestWakeWithoutWaiters: the release-path fast case is a no-op (and, per
+// TestWakeNoWaitersAllocs, a single atomic load).
+func TestWakeWithoutWaiters(t *testing.T) {
+	tab, _ := newTestTable()
+	tab.Wake(memmodel.Addr(8)) // must not panic or block
+	if n := tab.Waiters(); n != 0 {
+		t.Fatalf("Waiters() = %d, want 0", n)
+	}
+}
+
+// sameShardAddr finds an address distinct from a that hashes to a's shard.
+func sameShardAddr(t *testing.T, a memmodel.Addr) memmodel.Addr {
+	t.Helper()
+	want := shardIndex(a)
+	for b := a + 8; b < a+8*100000; b += 8 {
+		if shardIndex(b) == want {
+			return b
+		}
+	}
+	t.Fatal("no same-shard sibling address found")
+	return 0
+}
+
+// TestSpuriousWakeSharedShard: shards are shared by many words, so a wake
+// on a sibling word may return a parked waiter spuriously — the documented
+// reason every caller re-checks its predicate in a loop.
+func TestSpuriousWakeSharedShard(t *testing.T) {
+	tab, w := newTestTable()
+	a := memmodel.Addr(256)
+	b := sameShardAddr(t, a)
+	w.store(a, 5)
+	done := make(chan struct{})
+	go func() {
+		tab.Park(a, 5) // single Park, no re-check loop: returns on any shard wake
+		close(done)
+	}()
+	deadline := time.Now().Add(parkTestTimeout)
+	for tab.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tab.Wake(b) // a's word still holds 5; the shard broadcast returns it anyway
+	select {
+	case <-done:
+	case <-time.After(parkTestTimeout):
+		t.Fatal("shard broadcast did not wake the sibling waiter")
+	}
+}
+
+// TestWaitersCountsAcrossShards: Waiters() sums registration over all
+// shards while several goroutines sleep on distinct words.
+func TestWaitersCountsAcrossShards(t *testing.T) {
+	tab, w := newTestTable()
+	const n = 8
+	addrs := make([]memmodel.Addr, n)
+	for i := range addrs {
+		addrs[i] = memmodel.Addr(1024 + 64*i)
+		w.store(addrs[i], 9)
+	}
+	var wg sync.WaitGroup
+	for _, a := range addrs {
+		wg.Add(1)
+		go func(a memmodel.Addr) {
+			defer wg.Done()
+			for w.load(a) == 9 {
+				tab.Park(a, 9)
+			}
+		}(a)
+	}
+	deadline := time.Now().Add(parkTestTimeout)
+	for tab.Waiters() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters() = %d, want %d", tab.Waiters(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, a := range addrs {
+		w.store(a, 10)
+		tab.Wake(a)
+	}
+	wg.Wait()
+	if got := tab.Waiters(); got != 0 {
+		t.Fatalf("Waiters() = %d after draining, want 0", got)
+	}
+}
+
+// TestParkWakeChurn hammers one word with parkers and a waking flipper —
+// the -race exercise for the register-before-check / store-then-wake
+// interlock. Every parker must eventually observe the final phase value.
+func TestParkWakeChurn(t *testing.T) {
+	tab, w := newTestTable()
+	a := memmodel.Addr(512)
+	const parkers = 16
+	rounds := 200
+	if testing.Short() {
+		rounds = 50
+	}
+	for r := 0; r < rounds; r++ {
+		w.store(a, 0)
+		var wg sync.WaitGroup
+		for i := 0; i < parkers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for w.load(a) == 0 {
+					tab.Park(a, 0)
+				}
+			}()
+		}
+		w.store(a, 1)
+		tab.Wake(a)
+		wg.Wait()
+	}
+	if got := tab.Waiters(); got != 0 {
+		t.Fatalf("Waiters() = %d after churn, want 0", got)
+	}
+}
+
+// TestHubNilSafety: a hub without a parker is inert — release paths wake
+// unconditionally and pay only a branch.
+func TestHubNilSafety(t *testing.T) {
+	var h Hub // zero value: no parker
+	if h.Enabled() {
+		t.Fatal("zero-value Hub reports Enabled")
+	}
+	if h.Parker() != nil {
+		t.Fatal("zero-value Hub returned a parker")
+	}
+	h.Wake(memmodel.Addr(8)) // must be a no-op
+
+	tab, _ := newTestTable()
+	h = NewHub(tab)
+	if !h.Enabled() || h.Parker() != Parker(tab) {
+		t.Fatal("NewHub did not retain the parker")
+	}
+}
+
+// provider is a test double for an environment exposing a parker.
+type provider struct{ p Parker }
+
+func (p provider) Parker() Parker { return p.p }
+
+// TestFromEnv covers the three extraction cases: a real provider, a
+// provider with parking disabled, and an environment with no provider.
+func TestFromEnv(t *testing.T) {
+	tab, _ := newTestTable()
+	if got := FromEnv(provider{p: tab}); got != Parker(tab) {
+		t.Fatal("FromEnv missed the provider's parker")
+	}
+	if got := FromEnv(provider{p: nil}); got != nil {
+		t.Fatal("FromEnv invented a parker for a disabled provider")
+	}
+	if got := FromEnv(struct{}{}); got != nil {
+		t.Fatal("FromEnv invented a parker for a non-provider")
+	}
+}
+
+// TestParkFastPathAllocs: the no-sleep Park path must not allocate — it
+// runs inside reader arrival and writer drain loops.
+func TestParkFastPathAllocs(t *testing.T) {
+	tab, w := newTestTable()
+	a := memmodel.Addr(64)
+	w.store(a, 7)
+	if avg := testing.AllocsPerRun(100, func() { tab.Park(a, 3) }); avg != 0 {
+		t.Fatalf("no-sleep Park allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// TestWakeNoWaitersAllocs: the empty-shard Wake path is release-side hot
+// code; it must not allocate.
+func TestWakeNoWaitersAllocs(t *testing.T) {
+	tab, _ := newTestTable()
+	a := memmodel.Addr(64)
+	if avg := testing.AllocsPerRun(100, func() { tab.Wake(a) }); avg != 0 {
+		t.Fatalf("no-waiter Wake allocates %.1f objects per call, want 0", avg)
+	}
+}

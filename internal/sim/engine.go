@@ -43,6 +43,14 @@ type Config struct {
 	Costs Costs
 	// SpuriousEvery forwards to htm.Config for failure injection.
 	SpuriousEvery uint64
+	// ParkCycles, when nonzero, enables a deterministic model of waiter
+	// parking (package park): Park re-checks the phase word and, if still
+	// blocked, sleeps ParkCycles of virtual time before returning to the
+	// caller's re-check loop; Wake costs nothing (the sleeper's bounded
+	// timeout stands in for the wake). Zero — the default — provides no
+	// parker at all, so every wait site degrades to its historical spin
+	// sequence and simulated sweeps stay byte-identical.
+	ParkCycles uint64
 }
 
 // thread is one logical thread's scheduling state.

@@ -1,0 +1,95 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sprwl/internal/core"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/obs"
+	"sprwl/internal/sim"
+	"sprwl/internal/stats"
+	"sprwl/internal/workload"
+)
+
+// parkingRun executes one contended SpRWL workload under the simulator
+// with the given ParkCycles model and returns everything observable: total
+// virtual cycles, the final shared-counter value, the stats snapshot, and
+// the number of park episodes the wait profiler attributed.
+func parkingRun(t *testing.T, parkCycles uint64) (cycles, final uint64, snap stats.Snapshot, parks uint64) {
+	t.Helper()
+	const threads = 8
+	eng, err := sim.NewEngine(sim.Config{
+		Threads:    threads,
+		Words:      1 << 12,
+		ParkCycles: parkCycles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eng.Env()
+	ar := memmodel.NewArena(0, eng.Space().Size())
+	prof := obs.NewProfileSink(threads)
+	col := stats.NewCollector(threads)
+	pipe := col.Pipeline(prof)
+	l := core.MustNew(e, ar, threads, workload.NumHashmapCS, core.DefaultOptions(), pipe)
+	data := ar.AllocLines(1)
+
+	cycles = eng.Run(func(slot int) {
+		h := l.NewHandle(slot)
+		for i := 0; i < 60; i++ {
+			// Every writer hits the same line, so hardware attempts
+			// conflict and the herd exercises the fallback wait paths.
+			h.Write(0, func(acc memmodel.Accessor) {
+				acc.Store(data, acc.Load(data)+1)
+			})
+			h.Read(1, func(acc memmodel.Accessor) { _ = acc.Load(data) })
+		}
+	})
+	final = e.Load(data) // quiesced: an uncharged direct read
+	pipe.Flush()
+	for _, c := range prof.Profiles() {
+		parks += c.Parks
+	}
+	return cycles, final, col.Snapshot(), parks
+}
+
+// TestParkingModelDeterministic is the determinism contract of the
+// ParkCycles model: with parking enabled, two identical simulations agree
+// on every observable — virtual-time schedule, final state, stats, and
+// park counts — just as the default spin-only configuration always has.
+func TestParkingModelDeterministic(t *testing.T) {
+	c1, f1, s1, p1 := parkingRun(t, 3000)
+	c2, f2, s2, p2 := parkingRun(t, 3000)
+	if c1 != c2 || f1 != f2 || p1 != p2 {
+		t.Fatalf("parking runs diverged: cycles %d vs %d, final %d vs %d, parks %d vs %d",
+			c1, c2, f1, f2, p1, p2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("parking runs diverged in stats snapshots")
+	}
+	if want := uint64(8 * 60); f1 != want {
+		t.Fatalf("final counter %d, want %d (lost updates?)", f1, want)
+	}
+}
+
+// TestParkingModelEngages: the contended workload must actually reach the
+// bounded-sleep model — otherwise the determinism test above exercises
+// nothing — and the model must change the schedule relative to spin-only
+// while preserving the workload's outcome.
+func TestParkingModelEngages(t *testing.T) {
+	cSpin, fSpin, _, pSpin := parkingRun(t, 0)
+	cPark, fPark, _, pPark := parkingRun(t, 3000)
+	if pSpin != 0 {
+		t.Fatalf("spin-only run recorded %d parks, want 0", pSpin)
+	}
+	if pPark == 0 {
+		t.Fatal("parking run recorded no parks; the workload never reaches the model")
+	}
+	if fSpin != fPark {
+		t.Fatalf("final counters differ: spin %d vs park %d", fSpin, fPark)
+	}
+	if cSpin == cPark {
+		t.Fatal("virtual-time totals identical with and without parking; the model charged nothing")
+	}
+}
