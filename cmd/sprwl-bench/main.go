@@ -45,7 +45,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "fig3", "experiment to run: fig3|fig4|fig5|fig6|fig7|extscan|extauto|extvsgl|all, or readers (wall-clock, not part of all)")
+		exp      = flag.String("exp", "fig3", "experiment to run: fig3|fig4|fig5|fig6|fig7|extscan|extauto|extvsgl|all, or readers|shards (wall-clock, not part of all)")
 		profile  = flag.String("profile", "broadwell", "machine profile: broadwell|power8")
 		quick    = flag.Bool("quick", false, "thin sweeps and shorten horizons (smoke run)")
 		horizon  = flag.Uint64("horizon", 0, "virtual cycles per data point (0 = default)")
@@ -110,10 +110,14 @@ func run() error {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
-	if *exp == "readers" {
-		// Wall-clock sweep on the real runtime: machine-dependent, so it
-		// is not part of -exp all or the -compare regression gate.
-		rep, err := harness.ReadersSweep(opts)
+	if *exp == "readers" || *exp == "shards" {
+		// Wall-clock sweeps on the real runtime: machine-dependent, so
+		// they are not part of -exp all or the -compare regression gate.
+		sweep := harness.ReadersSweep
+		if *exp == "shards" {
+			sweep = harness.ShardsSweep
+		}
+		rep, err := sweep(opts)
 		if err != nil {
 			return err
 		}
@@ -146,7 +150,7 @@ func run() error {
 		sort.Strings(ids)
 	} else {
 		if _, ok := experiments[*exp]; !ok {
-			return fmt.Errorf("unknown experiment %q (want fig3..fig7, readers, or all)", *exp)
+			return fmt.Errorf("unknown experiment %q (want fig3..fig7, readers, shards, or all)", *exp)
 		}
 		ids = []string{*exp}
 	}

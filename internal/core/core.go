@@ -449,6 +449,10 @@ type handle struct {
 	flaggedIn uint64
 	flagToken uint64
 
+	// spanGLAt is the fallback-lock acquisition timestamp of the current
+	// AcquireWrite span, consumed by ReleaseWrite's SGL event.
+	spanGLAt uint64
+
 	// txBody carries the critical-section body for the duration of one
 	// Read/Write call; txRead and txWrite are the per-handle attempt
 	// closures that subscribe to the fallback lock, run txBody, and (for

@@ -41,6 +41,15 @@ type Point struct {
 	ReaderLatency, WriterLatency float64
 	ReaderP99, WriterP99         uint64
 
+	// Median and deep-tail latencies, filled only by sweeps that report
+	// full distributions (the shards sweep and sprwl-serve). Omitted from
+	// JSON when zero so the simulated baselines' byte layout is
+	// unchanged.
+	ReaderP50  uint64 `json:",omitempty"`
+	WriterP50  uint64 `json:",omitempty"`
+	ReaderP999 uint64 `json:",omitempty"`
+	WriterP999 uint64 `json:",omitempty"`
+
 	// Wait-profiler attribution, filled only by sweeps that attach the
 	// profiler (the oversubscription points): cycles stalled threads
 	// burned actually spinning, cycles they slept parked instead, and the

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sprwl/internal/htm"
+	"sprwl/internal/locktable"
+	"sprwl/internal/memmodel"
+	"sprwl/internal/workload"
+)
+
+// Shards sweep: the sharded lock table vs a single lock, on the real
+// runtime under the KV point-op workload (closed loop). Axes: shard count
+// × goroutines (uniform keys), then key skew × read ratio at a fixed
+// fleet. Wall-clock, so — like the readers sweep — it is excluded from
+// -exp all and the -compare regression gate; its points are appended to
+// the baseline as their own report, never mixed into simulated figures.
+
+const (
+	shardsWallNanos      = 150_000_000 // 150ms per point
+	shardsQuickWallNanos = 40_000_000
+	shardsItems          = 4096
+)
+
+func shardsGoroutineCounts(quick bool) []int {
+	if quick {
+		return []int{2, 8}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+func shardsCounts(quick bool) []int {
+	if quick {
+		return []int{1, 16}
+	}
+	return []int{1, 16, 256}
+}
+
+// RunShardsPoint measures one closed-loop KV point: g worker goroutines,
+// a table of the given shard count (1 = the single-lock baseline, same
+// code path), Zipf skew theta over the key popularity, and the given read
+// percentage of point ops.
+func RunShardsPoint(shards, g int, theta float64, readPct int, wallNanos, seed uint64) (Point, error) {
+	kvCfg := workload.KVConfig{
+		Table: locktable.Config{Shards: shards, Threads: g},
+		Items: shardsItems,
+	}
+	kvCfg.Validate()
+	space, err := htm.NewSpace(htm.Config{Threads: g, Words: workload.KVWords(kvCfg)})
+	if err != nil {
+		return Point{}, err
+	}
+	e := htm.NewRuntime(space, nil)
+	ar := memmodel.NewArena(0, space.Size())
+	kv, err := workload.SetupKV(e, ar, kvCfg, nil)
+	if err != nil {
+		return Point{}, err
+	}
+	res := workload.RunLoad(kv, workload.LoadConfig{
+		Workers:     g,
+		Duration:    time.Duration(wallNanos),
+		ReadPercent: readPct,
+		ZipfTheta:   theta,
+		Seed:        seed,
+	})
+	pt := Point{
+		Algo:          fmt.Sprintf("Table-%d", locktable.NumShards(kvCfg.Table)),
+		Threads:       g,
+		Ops:           res.Ops,
+		Cycles:        uint64(res.Elapsed),
+		Throughput:    float64(res.Ops) / (float64(res.Elapsed) / 1e6),
+		ReaderLatency: res.ReaderMeanNs,
+		WriterLatency: res.WriterMeanNs,
+		ReaderP50:     res.ReaderP50Ns,
+		ReaderP99:     res.ReaderP99Ns,
+		ReaderP999:    res.ReaderP999Ns,
+		WriterP50:     res.WriterP50Ns,
+		WriterP99:     res.WriterP99Ns,
+		WriterP999:    res.WriterP999Ns,
+	}
+	return pt, nil
+}
+
+// ShardsSweep runs the full matrix. Points run sequentially — each one
+// wants the whole machine.
+func ShardsSweep(opts RunOpts) (*Report, error) {
+	wall := uint64(shardsWallNanos)
+	if opts.Quick {
+		wall = shardsQuickWallNanos
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep := &Report{
+		ID:    "shards",
+		Title: "Sharded lock table vs single lock (real runtime, wall clock)",
+		Notes: []string{
+			"extension experiment: KV point ops over internal/locktable; Table-1 is the single-lock baseline on the identical code path",
+			"wall-clock measurement — machine-dependent, excluded from -exp all and the -compare gate",
+			fmt.Sprintf("closed loop, %d keys, latencies in ns (p50/p99/p999 in JSON)", shardsItems),
+		},
+	}
+
+	scaling := Section{Title: "shard scaling, uniform keys, 90% reads (ops/Mcyc = KV ops per ms)"}
+	for _, g := range shardsGoroutineCounts(opts.Quick) {
+		for _, s := range shardsCounts(opts.Quick) {
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("shards s=%d g=%d uniform", s, g))
+			}
+			pt, err := RunShardsPoint(s, g, 0, 90, wall, seed)
+			if err != nil {
+				return nil, err
+			}
+			scaling.Points = append(scaling.Points, pt)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	rep.Sections = append(rep.Sections, scaling)
+
+	skew := Section{Title: "key skew × read ratio, 64 shards, 8 goroutines (Zipf theta in series name)"}
+	readPcts := []int{90, 50}
+	if opts.Quick {
+		readPcts = []int{90}
+	}
+	for _, theta := range []float64{0, 0.99} {
+		for _, readPct := range readPcts {
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("shards zipf=%.2f read=%d", theta, readPct))
+			}
+			pt, err := RunShardsPoint(64, 8, theta, readPct, wall, seed)
+			if err != nil {
+				return nil, err
+			}
+			pt.Algo = fmt.Sprintf("zipf%.2f/r%d", theta, readPct)
+			skew.Points = append(skew.Points, pt)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	rep.Sections = append(rep.Sections, skew)
+	return rep, nil
+}

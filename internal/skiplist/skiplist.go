@@ -125,6 +125,20 @@ func (l *List) Insert(acc memmodel.Accessor, key, val uint64, node memmodel.Addr
 	return true
 }
 
+// Update sets key's value in place and reports whether the key was
+// present. Unlike Insert it never links a node, so callers that only want
+// to touch existing keys (multi-key span bodies) need no pre-allocated
+// node.
+func (l *List) Update(acc memmodel.Accessor, key, val uint64) bool {
+	var pred [MaxHeight]memmodel.Addr
+	cand := l.findPredecessors(acc, key, &pred)
+	if cand == 0 || acc.Load(cand+nodeKey) != key {
+		return false
+	}
+	acc.Store(cand+nodeVal, val)
+	return true
+}
+
 // Delete removes key and returns its node for recycling (after the
 // enclosing critical section commits), or 0 if absent.
 func (l *List) Delete(acc memmodel.Accessor, key uint64) memmodel.Addr {
