@@ -19,6 +19,16 @@
 // stdout (diagnostics, suppressed findings, stale allows, and counts; see
 // the report type) for CI artifacts and dashboards; the human format and
 // exit codes are unchanged otherwise.
+//
+// -baseline <file> turns the run into a regression gate against a
+// committed snapshot (itself a -json report, conventionally
+// LINT_baseline.json at the module root): findings present in the run but
+// absent from the baseline fail the gate, and baseline entries no longer
+// reproduced also fail — a fixed finding must be removed from the
+// snapshot, so the baseline only ever shrinks deliberately. Findings are
+// keyed by (file, analyzer, message), not line numbers, so unrelated
+// edits don't churn the gate. -write-baseline <file> records the current
+// run as the new snapshot.
 package main
 
 import (
@@ -35,7 +45,9 @@ import (
 	"sprwl/internal/analysis/driver"
 	"sprwl/internal/analysis/fenceorder"
 	"sprwl/internal/analysis/hotpathalloc"
+	"sprwl/internal/analysis/lockorder"
 	"sprwl/internal/analysis/releaseorder"
+	"sprwl/internal/analysis/spanleak"
 )
 
 var analyzers = []*driver.Analyzer{
@@ -44,7 +56,9 @@ var analyzers = []*driver.Analyzer{
 	doomedread.Analyzer,
 	fenceorder.Analyzer,
 	hotpathalloc.Analyzer,
+	lockorder.Analyzer,
 	releaseorder.Analyzer,
+	spanleak.Analyzer,
 }
 
 // finding is one diagnostic in the -json report.
@@ -77,6 +91,8 @@ type report struct {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the run as a JSON object on stdout")
+	baselinePath := flag.String("baseline", "", "gate the run against a committed -json snapshot: new findings fail, entries no longer reproduced require a baseline refresh")
+	writeBaseline := flag.String("write-baseline", "", "record the current run's diagnostics as the baseline snapshot at this path")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -119,18 +135,19 @@ func main() {
 		return out
 	}
 
+	var r report
+	r.Diagnostics = toFindings(res.Diagnostics)
+	r.Suppressed = toFindings(res.Suppressed)
+	r.StaleAllows = make([]staleAllow, 0, len(res.StaleAllows))
+	for _, a := range res.StaleAllows {
+		p := prog.Fset.Position(a.Pos)
+		r.StaleAllows = append(r.StaleAllows, staleAllow{File: rel(p.Filename), Line: p.Line, Analyzers: a.Names})
+	}
+	r.Counts.Diagnostics = len(r.Diagnostics)
+	r.Counts.Suppressed = len(r.Suppressed)
+	r.Counts.StaleAllows = len(r.StaleAllows)
+
 	if *jsonOut {
-		var r report
-		r.Diagnostics = toFindings(res.Diagnostics)
-		r.Suppressed = toFindings(res.Suppressed)
-		r.StaleAllows = make([]staleAllow, 0, len(res.StaleAllows))
-		for _, a := range res.StaleAllows {
-			p := prog.Fset.Position(a.Pos)
-			r.StaleAllows = append(r.StaleAllows, staleAllow{File: rel(p.Filename), Line: p.Line, Analyzers: a.Names})
-		}
-		r.Counts.Diagnostics = len(r.Diagnostics)
-		r.Counts.Suppressed = len(r.Suppressed)
-		r.Counts.StaleAllows = len(r.StaleAllows)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
@@ -148,10 +165,99 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sprwl-lint: %d finding(s) suppressed by //sprwl:allow\n", n)
 		}
 	}
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, r); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sprwl-lint: wrote baseline with %d finding(s) to %s\n", len(r.Diagnostics), *writeBaseline)
+	}
+
+	if *baselinePath != "" {
+		fresh, fixed, err := diffBaseline(*baselinePath, r.Diagnostics)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range fresh {
+			fmt.Fprintf(os.Stderr, "sprwl-lint: new finding not in baseline: %s:%d: %s: %s\n", f.File, f.Line, f.Analyzer, f.Message)
+		}
+		for _, f := range fixed {
+			fmt.Fprintf(os.Stderr, "sprwl-lint: baseline entry no longer reproduced (refresh with -write-baseline): %s: %s: %s\n", f.File, f.Analyzer, f.Message)
+		}
+		if bad := len(fresh) + len(fixed) + len(res.StaleAllows); bad > 0 {
+			fmt.Fprintf(os.Stderr, "sprwl-lint: baseline gate failed: %d new, %d fixed-but-listed, %d stale suppression(s)\n",
+				len(fresh), len(fixed), len(res.StaleAllows))
+			os.Exit(1)
+		}
+		return
+	}
+
 	if bad := len(res.Diagnostics) + len(res.StaleAllows); bad > 0 {
 		fmt.Fprintf(os.Stderr, "sprwl-lint: %d invariant violation(s) and/or stale suppression(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+// baselineKey identifies a finding across line-number churn: position is
+// advisory, identity is (file, analyzer, message).
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+// diffBaseline loads a committed -json snapshot and splits the current
+// diagnostics against it: fresh findings are absent from the snapshot,
+// fixed entries are snapshot rows no run diagnostic reproduces. Duplicate
+// keys are counted, so adding a second instance of a known finding in the
+// same file still trips the gate.
+func diffBaseline(path string, current []finding) (fresh, fixed []finding, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	counts := make(map[baselineKey]int)
+	for _, f := range base.Diagnostics {
+		counts[baselineKey{f.File, f.Analyzer, f.Message}]++
+	}
+	for _, f := range current {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if counts[k] > 0 {
+			counts[k]--
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, f := range base.Diagnostics {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if counts[k] > 0 {
+			counts[k]--
+			fixed = append(fixed, f)
+		}
+	}
+	return fresh, fixed, nil
+}
+
+// writeBaselineFile records the run's diagnostics (only — suppressions and
+// stale allows are transient) as the committed snapshot.
+func writeBaselineFile(path string, r report) error {
+	var snap report
+	snap.Diagnostics = r.Diagnostics
+	if snap.Diagnostics == nil {
+		snap.Diagnostics = []finding{}
+	}
+	snap.Suppressed = []finding{}
+	snap.StaleAllows = []staleAllow{}
+	snap.Counts.Diagnostics = len(snap.Diagnostics)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

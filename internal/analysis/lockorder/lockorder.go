@@ -1,0 +1,488 @@
+// Package lockorder mechanizes DESIGN §11's deadlock-freedom argument as
+// six checkable rules over the interprocedural lock summaries of package
+// summary. The hand proof orders the lock universe — shard spans ascend by
+// index, release descends, critical-section bodies are leaves — and this
+// analyzer rejects code that steps outside that order anywhere in the
+// lock-acquisition graph spanning core.SpanHandle two-phase calls, the
+// locktable/rwlock closure sections, the internal/locks baselines, and
+// park.Park/Pause waits:
+//
+//	L1  closure-section bodies are lock-free leaves: a body passed to
+//	    Read/Write/ReadN/WriteN/ReadAll must not (transitively) acquire,
+//	    try, section, or park.
+//	L2  span shards are acquired in ascending index order: no loop that
+//	    walks shard indexes downward may acquire, and no straight-line
+//	    sequence may acquire a shard below one it still holds.
+//	L3  span shards are released in descending index order: the mirror of
+//	    L2 for the release half of the two-phase protocol.
+//	L4  no lock is re-acquired while it may still be held: a second
+//	    acquire of the same operand without an intervening release
+//	    self-deadlocks on non-reentrant locks.
+//	L5  no parking while holding a lock: a parked waiter cannot release
+//	    what it holds, so every blocked peer behind that lock inherits the
+//	    wait.
+//	L6  the lock-order graph is acyclic at family granularity: an edge
+//	    A -> B is drawn wherever some path acquires a member of family B
+//	    while holding a member of family A (directly or through calls);
+//	    a cycle is a potential deadlock the index rules cannot see.
+//
+// Lock implementations are exempt: packages core, park, and locks *are*
+// the protocols these rules abstract (a queue lock legitimately parks
+// while holding its queue node), so the analyzer checks their call
+// surface from client code, not their internals.
+package lockorder
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sprwl/internal/analysis/astq"
+	"sprwl/internal/analysis/dataflow"
+	"sprwl/internal/analysis/driver"
+	"sprwl/internal/analysis/summary"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &driver.Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce DESIGN §11's lock-acquisition order: ascending span acquire, descending release, lock-free section bodies, no re-acquire, no parking while held, acyclic lock-order graph",
+	Run:  run,
+}
+
+// implPkgs are the lock-implementation packages whose internals define the
+// protocols; the rules apply to their callers.
+var implPkgs = map[string]bool{"core": true, "park": true, "locks": true}
+
+func run(pass *driver.Pass) error {
+	if implPkgs[pass.Pkg.Name] {
+		return nil
+	}
+	s := summary.For(pass.Prog)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, s, fd.Body, s.Analyze(pass.Pkg, fd))
+		}
+		// Function literals are separate control flow (goroutine bodies,
+		// stored callbacks); invoked-literal events also appear inlined in
+		// the enclosing analysis, and the driver's position de-duplication
+		// collapses any doubled report.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkBody(pass, s, lit.Body, s.AnalyzeLit(pass.Pkg, lit))
+			}
+			return true
+		})
+	}
+	checkCycles(pass, s)
+	return nil
+}
+
+func checkBody(pass *driver.Pass, s *summary.Set, body *ast.BlockStmt, fa *summary.FuncAnalysis) {
+	checkBodiesLockFree(pass, s, fa)    // L1
+	checkSpanIndexOrder(pass, body, fa) // L2 + L3
+	checkHeldState(pass, fa)            // L4 + L5
+}
+
+// checkBodiesLockFree enforces L1: every function value a closure-section
+// body argument may resolve to must be lock-free. Bodies the callgraph
+// cannot enumerate are not reported — the summary layer already marks the
+// verdict incomplete, and the closed-surface assumption (DESIGN §12) is
+// that unresolved values perform no protocol-surface lock operations.
+func checkBodiesLockFree(pass *driver.Pass, s *summary.Set, fa *summary.FuncAnalysis) {
+	for i := range fa.Events {
+		ev := &fa.Events[i]
+		if ev.Op.Kind != summary.KindSection || ev.Op.Via != "" || ev.Op.BodyArg == nil {
+			continue
+		}
+		sums, names, _ := s.BodySummaries(fa.Pkg, ev.Op.BodyArg)
+		for j, sum := range sums {
+			if sum.Touches() {
+				pass.Reportf(ev.Op.BodyArg.Pos(),
+					"lock order: section body %s %s; critical-section bodies must be lock-free leaves (L1)",
+					names[j], sum.TouchDescribe())
+			}
+		}
+	}
+}
+
+// checkSpanIndexOrder enforces L2/L3 on two-phase span calls whose
+// receiver is an indexed shard (h.spans[i].AcquireRead(...)): loops that
+// drive the index must ascend on acquire and descend on release, and
+// straight-line constant-indexed sequences must never acquire below or
+// release below a shard still held.
+func checkSpanIndexOrder(pass *driver.Pass, body *ast.BlockStmt, fa *summary.FuncAnalysis) {
+	info := fa.Pkg.Info
+	loops := loopStacks(body)
+
+	// Straight-line constant order: per CFG block, the set of
+	// constant-indexed shards currently held per lock operand.
+	type famKey struct {
+		obj   types.Object
+		path  string
+		class summary.Class
+	}
+	var curBlock interface{}
+	held := make(map[famKey]map[int]bool)
+
+	for i := range fa.Events {
+		ev := &fa.Events[i]
+		if ev.Op.Via != "" || ev.Op.Key.Class != summary.ClassSpan {
+			continue
+		}
+		if ev.Op.Kind != summary.KindAcquire && ev.Op.Kind != summary.KindRelease {
+			continue
+		}
+		call, ok := ev.Node.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		idx, ok := ast.Unparen(sel.X).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+
+		if c, isConst := constIndex(info, idx.Index); isConst {
+			if ev.Block != curBlock {
+				curBlock = ev.Block
+				held = make(map[famKey]map[int]bool)
+			}
+			k := famKey{ev.Op.Key.Obj, generalize(ev.Op.Key.Path), ev.Op.Key.Class}
+			set := held[k]
+			if set == nil {
+				set = make(map[int]bool)
+				held[k] = set
+			}
+			switch ev.Op.Kind {
+			case summary.KindAcquire:
+				if hi, ok := maxHeld(set); ok && hi > c {
+					pass.Reportf(ev.Op.Pos,
+						"lock order: span shard [%d] is acquired while shard [%d] is already held; span acquisition must ascend by shard index (L2)", c, hi)
+				}
+				set[c] = true
+			case summary.KindRelease:
+				if hi, ok := maxHeld(set); ok && hi > c {
+					pass.Reportf(ev.Op.Pos,
+						"lock order: span shard [%d] is released while shard [%d] is still held; span release must descend by shard index (L3)", c, hi)
+				}
+				delete(set, c)
+			}
+			continue
+		}
+
+		// Variable index: judge by the direction of the loop driving it.
+		root := astq.RootVar(info, idx.Index)
+		if root == nil {
+			continue
+		}
+		for _, loop := range loops[call] {
+			dir := loopDir(info, loop, root)
+			if dir == 0 {
+				continue
+			}
+			if ev.Op.Kind == summary.KindAcquire && dir < 0 {
+				pass.Reportf(ev.Op.Pos,
+					"lock order: span shards are acquired in a loop that walks %s downward; span acquisition must ascend by shard index (L2)", root.Name())
+			}
+			if ev.Op.Kind == summary.KindRelease && dir > 0 {
+				pass.Reportf(ev.Op.Pos,
+					"lock order: span shards are released in a loop that walks %s upward; span release must descend by shard index (L3)", root.Name())
+			}
+			break
+		}
+	}
+}
+
+// checkHeldState enforces L4 (re-acquire while may-held) and L5 (parking
+// while may-held) by replaying the may-forward held solution.
+func checkHeldState(pass *driver.Pass, fa *summary.FuncAnalysis) {
+	// Bits acquired only by `for !m.TryLock()` spins hold after the loop,
+	// not inside it; the replay cannot tell the two regions apart, so spin
+	// keys are exempt from the held-at rules.
+	spinBits := make(map[int]bool)
+	for i := range fa.Events {
+		ev := &fa.Events[i]
+		if ev.Spin {
+			if bit, ok := fa.KeyBit[ev.Op.Key]; ok {
+				spinBits[bit] = true
+			}
+		}
+	}
+	for _, blk := range fa.Graph.Blocks {
+		fa.HeldFlow.ReplayForward(blk, fa.Held.In[blk], func(n ast.Node, guarded bool, before dataflow.Bits) {
+			for _, i := range fa.At[n] {
+				ev := &fa.Events[i]
+				switch ev.Op.Kind {
+				case summary.KindAcquire:
+					k := ev.Op.Key
+					if !k.Pairable() || k.Indexed() || ev.Spin {
+						continue
+					}
+					if bit, ok := fa.KeyBit[k]; ok && !spinBits[bit] && before.Has(bit) {
+						pass.Reportf(ev.Op.Pos,
+							"lock order: %s may already be held here; re-acquiring a non-reentrant lock self-deadlocks (L4)", k.String())
+					}
+				case summary.KindWait:
+					for bit, k := range fa.Keys {
+						if before.Has(bit) && !spinBits[bit] {
+							pass.Reportf(ev.Op.Pos,
+								"lock order: parking while %s may be held; a parked waiter blocks every peer waiting on what it holds (L5)%s", k.String(), via(ev.Op.Via))
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkCycles enforces L6: the union of lock-order edges over every
+// module (and fixture) package must be acyclic at family granularity.
+// Each pass collects the same global graph from the cached summaries and
+// reports only the cycle edges sited in its own package, so a multichecker
+// run flags every participating site exactly once.
+func checkCycles(pass *driver.Pass, s *summary.Set) {
+	prog := pass.Prog
+	var edges []summary.Edge
+	for _, pkg := range prog.Packages() {
+		if implPkgs[pkg.Name] || !localPkg(prog, pkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					edges = append(edges, s.FuncSummary(fd, pkg).Edges...)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					edges = append(edges, s.LitSummary(lit, pkg).Edges...)
+				}
+				return true
+			})
+		}
+	}
+
+	// Adjacency plus the best (earliest) reporting site per edge.
+	adj := make(map[string][]string)
+	best := make(map[[2]string]summary.Edge)
+	for _, e := range edges {
+		k := [2]string{e.From, e.To}
+		if have, ok := best[k]; !ok {
+			adj[e.From] = append(adj[e.From], e.To)
+			best[k] = e
+		} else if e.Pos < have.Pos {
+			best[k] = e
+		}
+	}
+
+	inPkg := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		inPkg[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+
+	keys := make([][2]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		e := best[k]
+		if !inPkg[pass.Fset.Position(e.Pos).Filename] {
+			continue
+		}
+		path := shortestPath(adj, e.To, e.From)
+		if path == nil {
+			continue // not on a cycle
+		}
+		cycle := append([]string{e.From}, path...)
+		pass.Reportf(e.Pos,
+			"lock order: acquiring %s while holding %s closes a lock-order cycle %s; DESIGN §11 requires the acquisition order to be acyclic (L6)%s",
+			e.To, e.From, strings.Join(cycle, " -> "), via(e.Via))
+	}
+}
+
+// shortestPath BFSes from -> to over adj, returning the node sequence
+// starting at from and ending at to (nil if unreachable).
+func shortestPath(adj map[string][]string, from, to string) []string {
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == to {
+			var rev []string
+			for cur := to; ; cur = prev[cur] {
+				rev = append(rev, cur)
+				if cur == from && len(rev) > 0 && prev[cur] == cur {
+					break
+				}
+			}
+			path := make([]string, 0, len(rev))
+			for i := len(rev) - 1; i >= 0; i-- {
+				path = append(path, rev[i])
+			}
+			return path
+		}
+		for _, m := range adj[n] {
+			if _, seen := prev[m]; !seen {
+				prev[m] = n
+				queue = append(queue, m)
+			}
+		}
+	}
+	return nil
+}
+
+// localPkg reports whether pkg belongs to the module under analysis or to
+// an analysistest fixture tree — the packages whose edges feed the global
+// order graph (standard-library dependencies do not).
+func localPkg(prog *driver.Program, pkg *driver.Package) bool {
+	if pkg.Path == prog.ModulePath || strings.HasPrefix(pkg.Path, prog.ModulePath+"/") {
+		return true
+	}
+	return prog.FixtureRoot != "" &&
+		strings.HasPrefix(pkg.Dir, prog.FixtureRoot+string(filepath.Separator))
+}
+
+// loopStacks maps every call in body to its enclosing for/range statements,
+// innermost first, stopping at function-literal frame boundaries.
+func loopStacks(body *ast.BlockStmt) map[*ast.CallExpr][]ast.Stmt {
+	out := make(map[*ast.CallExpr][]ast.Stmt)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			var ls []ast.Stmt
+		frames:
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch st := stack[i].(type) {
+				case *ast.ForStmt:
+					ls = append(ls, st)
+				case *ast.RangeStmt:
+					ls = append(ls, st)
+				case *ast.FuncLit:
+					break frames
+				}
+			}
+			if len(ls) > 0 {
+				out[call] = ls
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// loopDir reports how loop advances v: +1 ascending, -1 descending, 0 when
+// the loop does not drive v (or the step is not recognizably monotonic).
+func loopDir(info *types.Info, loop ast.Stmt, v *types.Var) int {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		// Range keys over a slice/array ascend by construction.
+		if id, ok := l.Key.(*ast.Ident); ok {
+			if info.Defs[id] == v || info.Uses[id] == v {
+				return 1
+			}
+		}
+	case *ast.ForStmt:
+		switch p := l.Post.(type) {
+		case *ast.IncDecStmt:
+			if rootIs(info, p.X, v) {
+				if p.Tok == token.INC {
+					return 1
+				}
+				return -1
+			}
+		case *ast.AssignStmt:
+			if len(p.Lhs) == 1 && len(p.Rhs) == 1 && rootIs(info, p.Lhs[0], v) {
+				if c, ok := constIndex(info, p.Rhs[0]); ok && c > 0 {
+					switch p.Tok {
+					case token.ADD_ASSIGN:
+						return 1
+					case token.SUB_ASSIGN:
+						return -1
+					}
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func rootIs(info *types.Info, e ast.Expr, v *types.Var) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.Uses[id] == v || info.Defs[id] == v
+	}
+	return false
+}
+
+// constIndex extracts a constant integer value, if any.
+func constIndex(info *types.Info, e ast.Expr) (int, bool) {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, err := strconv.Atoi(tv.Value.ExactString()); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// generalize collapses constant index labels to "[*]" so spans[0] and
+// spans[3] share one straight-line tracking entry.
+func generalize(p string) string {
+	var b strings.Builder
+	for i := 0; i < len(p); {
+		if p[i] == '[' {
+			j := strings.IndexByte(p[i:], ']')
+			if j < 0 {
+				b.WriteString(p[i:])
+				break
+			}
+			b.WriteString("[*]")
+			i += j + 1
+			continue
+		}
+		b.WriteByte(p[i])
+		i++
+	}
+	return b.String()
+}
+
+func maxHeld(set map[int]bool) (int, bool) {
+	hi, ok := 0, false
+	for c := range set {
+		if !ok || c > hi {
+			hi, ok = c, true
+		}
+	}
+	return hi, ok
+}
+
+func via(v string) string {
+	if v == "" {
+		return ""
+	}
+	return " (via " + v + ")"
+}

@@ -1,0 +1,195 @@
+// Package spanorder is the lockorder golden fixture: a miniature of the
+// locktable span surface (two-phase indexed shard handles, closure
+// sections, baseline mutexes, a parking waiter) with one function per
+// rule, violating and conforming variants side by side.
+package spanorder
+
+type mutex struct{}
+
+func (*mutex) Lock()   {}
+func (*mutex) Unlock() {}
+
+type span struct{}
+
+func (span) AcquireRead(csID int)  {}
+func (span) ReleaseRead(csID int)  {}
+func (span) AcquireWrite(csID int) {}
+func (span) ReleaseWrite(csID int) {}
+
+type handle struct {
+	spans []span
+	mark  []bool
+}
+
+type waiter struct{}
+
+func (waiter) Park(addr *uint64, expected uint64) {}
+
+type locky struct{}
+
+func (locky) Read(csID int, body func()) {}
+
+// --- L2: span shards must be acquired in ascending index order ---
+
+func revAcquire(h *handle) {
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].AcquireRead(0) // want `span acquisition must ascend`
+	}
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].ReleaseRead(0)
+	}
+}
+
+func constOrder(h *handle) {
+	h.spans[0].AcquireRead(0)
+	h.spans[2].AcquireRead(0)
+	h.spans[1].AcquireRead(0) // want `span shard \[1\] is acquired while shard \[2\] is already held`
+	h.spans[2].ReleaseRead(0)
+	h.spans[1].ReleaseRead(0)
+	h.spans[0].ReleaseRead(0)
+}
+
+// --- L3: span shards must be released in descending index order ---
+
+func fwdRelease(h *handle) {
+	for i := 0; i < len(h.spans); i++ {
+		h.spans[i].AcquireRead(0)
+	}
+	for i := range h.spans {
+		h.spans[i].ReleaseRead(0) // want `span release must descend`
+	}
+}
+
+func constRelease(h *handle) {
+	h.spans[0].AcquireRead(0)
+	h.spans[3].AcquireRead(0)
+	h.spans[0].ReleaseRead(0) // want `span shard \[0\] is released while shard \[3\] is still held`
+	h.spans[3].ReleaseRead(0)
+}
+
+// markedSweep is the conforming locktable shape: ascending bitmap-scan
+// acquire, descending release. No diagnostics.
+func markedSweep(h *handle) {
+	for s := 0; s < len(h.mark); s++ {
+		if !h.mark[s] {
+			continue
+		}
+		h.spans[s].AcquireWrite(0)
+	}
+	for s := len(h.mark) - 1; s >= 0; s-- {
+		if !h.mark[s] {
+			continue
+		}
+		h.spans[s].ReleaseWrite(0)
+	}
+}
+
+// allowedRev shows the shared suppression machinery: the reversed probe is
+// deliberate and carries the directive, so nothing is reported.
+func allowedRev(h *handle) {
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		//sprwl:allow(lockorder) deliberate reversed-order deadlock probe
+		h.spans[i].AcquireRead(0)
+	}
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].ReleaseRead(0)
+	}
+}
+
+// --- L1: closure-section bodies are lock-free leaves ---
+
+var gmu mutex
+
+func lockyBody() {
+	gmu.Lock()
+	gmu.Unlock()
+}
+
+func sectionBodies(lk locky, m *mutex) {
+	lk.Read(0, func() {})
+	lk.Read(0, func() { m.Lock(); m.Unlock() }) // want `section body func literal acquires spanorder\.mutex`
+	lk.Read(0, lockyBody)                       // want `section body lockyBody acquires spanorder\.mutex`
+}
+
+// --- L4: no re-acquire while may-held ---
+
+func reacquire(m *mutex) {
+	m.Lock()
+	m.Lock() // want `may already be held here`
+	m.Unlock()
+	m.Unlock()
+}
+
+func reacquireBranch(m *mutex, cond bool) {
+	if cond {
+		m.Lock()
+	}
+	m.Lock() // want `may already be held here`
+	m.Unlock()
+}
+
+// --- L5: no parking while holding a lock ---
+
+func parkHolding(m *mutex, w waiter, a *uint64) {
+	m.Lock()
+	w.Park(a, 1) // want `parking while spanorder\.mutex may be held`
+	m.Unlock()
+}
+
+func parker(w waiter, a *uint64) {
+	w.Park(a, 1)
+}
+
+func parkViaHelper(m *mutex, w waiter, a *uint64) {
+	m.Lock()
+	parker(w, a) // want `parking while spanorder\.mutex may be held`
+	m.Unlock()
+}
+
+// --- interface dispatch: classification is by name and signature ---
+
+// iface mirrors core.SpanHandle: locktable stores its shards behind the
+// interface, so the span rules must see through dynamic dispatch.
+type iface interface {
+	AcquireRead(csID int)
+	ReleaseRead(csID int)
+}
+
+type ihandle struct {
+	spans []iface
+}
+
+func ifaceRev(h *ihandle) {
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].AcquireRead(0) // want `span acquisition must ascend`
+	}
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].ReleaseRead(0)
+	}
+}
+
+// --- L6: the lock-order graph is acyclic ---
+
+type muA struct{}
+
+func (*muA) Lock()   {}
+func (*muA) Unlock() {}
+
+type muB struct{}
+
+func (*muB) Lock()   {}
+func (*muB) Unlock() {}
+
+func abOrder(a *muA, b *muB) {
+	a.Lock()
+	b.Lock() // want `closes a lock-order cycle`
+	b.Unlock()
+	a.Unlock()
+}
+
+func baOrder(a *muA, b *muB) {
+	b.Lock()
+	a.Lock() // want `closes a lock-order cycle`
+	a.Unlock()
+	b.Unlock()
+}

@@ -1,0 +1,255 @@
+// Package spanleak checks acquire/release pairing over every exit path:
+// each lock acquisition — a two-phase span call, a baseline Lock, or an
+// obligation imported from a net-acquiring callee like locktable's
+// acquireMarked — must be matched by a release of the same operand (and
+// compatible mode) on EVERY path from the acquisition to function exit,
+// including early returns, panic unwinds, and labelled jumps out of the
+// critical section. The mirror rule rejects releases no path can still be
+// holding (double release, release before acquire).
+//
+//	S1  every unguarded acquire has a covering release ahead on all paths
+//	    to exit. Releases count where they run: deferred releases anchor
+//	    at their registration statement (the deferred block runs on every
+//	    exit reached after registration, panics included), and releases
+//	    inside a loop also anchor at the loop head, which every path
+//	    through the loop region crosses — the descending release loop of
+//	    ReadAll discharges the ascending acquire loop even though the
+//	    zero-trip edge skips both bodies.
+//	S2  no release runs at a point where no path may still hold the
+//	    operand.
+//
+// Two exemptions keep the check aligned with the repository's helper
+// protocol: a function whose own body acquires a key but never mentions a
+// covering release is a deliberate net-acquire helper (acquireMarked) —
+// its obligation is exported through its summary and re-checked, as a
+// translated acquire, at every caller; and a mirror net-release helper
+// (releaseMarked) is exempt from S2 where no covering acquire exists.
+// Packages core, park, and locks are lock implementations and out of
+// scope; their call surface is checked in client code.
+package spanleak
+
+import (
+	"go/ast"
+
+	"sprwl/internal/analysis/dataflow"
+	"sprwl/internal/analysis/driver"
+	"sprwl/internal/analysis/summary"
+)
+
+// Analyzer is the spanleak check.
+var Analyzer = &driver.Analyzer{
+	Name: "spanleak",
+	Doc:  "every lock acquisition must be released on all exit paths (early returns, panics, labelled jumps), and no release may run where nothing is held",
+	Run:  run,
+}
+
+// implPkgs mirror lockorder's exemption: lock implementations are the
+// protocols themselves.
+var implPkgs = map[string]bool{"core": true, "park": true, "locks": true}
+
+func run(pass *driver.Pass) error {
+	if implPkgs[pass.Pkg.Name] {
+		return nil
+	}
+	s := summary.For(pass.Prog)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, s.Analyze(pass.Pkg, fd))
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				check(pass, s.AnalyzeLit(pass.Pkg, lit))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bit layout: two bits per pairable key, read then write. A ModeAny
+// release (a merged summary effect) discharges both.
+func bits(keyIdx int, mode summary.Mode) []int {
+	switch mode {
+	case summary.ModeRead:
+		return []int{2 * keyIdx}
+	case summary.ModeWrite:
+		return []int{2*keyIdx + 1}
+	}
+	return []int{2 * keyIdx, 2*keyIdx + 1}
+}
+
+func check(pass *driver.Pass, fa *summary.FuncAnalysis) {
+	if len(fa.Keys) == 0 {
+		return
+	}
+
+	// Gen sites for the must-backward release-ahead flow. The release
+	// event's own node only runs where it runs; the registration statement
+	// of a deferred release and the head of an enclosing loop are the
+	// anchors that survive the paths the raw node misses (panic unwind,
+	// zero-trip edge).
+	genAt := make(map[ast.Node][]int)
+	// hasRelease/hasAcquire record, per universe key, whether the function
+	// itself mentions a covering release/acquire — the net-helper
+	// exemptions of S1 and S2.
+	hasRelease := make([]bool, len(fa.Keys))
+	hasAcquire := make([]bool, len(fa.Keys))
+	for i := range fa.Events {
+		ev := &fa.Events[i]
+		if !ev.Op.Key.Pairable() {
+			continue
+		}
+		keyIdx, ok := fa.KeyBit[ev.Op.Key]
+		if !ok {
+			continue
+		}
+		switch ev.Op.Kind {
+		case summary.KindRelease:
+			b := bits(keyIdx, ev.Op.Mode)
+			genAt[ev.Node] = append(genAt[ev.Node], b...)
+			if ev.Defer != nil {
+				genAt[ev.Defer] = append(genAt[ev.Defer], b...)
+			}
+			if ev.Loop != nil {
+				if a := fa.LoopAnchor[ev.Loop]; a != nil {
+					genAt[a] = append(genAt[a], b...)
+				}
+			}
+			for j, k := range fa.Keys {
+				if covers(ev.Op.Key, k) {
+					hasRelease[j] = true
+				}
+			}
+		case summary.KindAcquire:
+			for j, k := range fa.Keys {
+				if covers(ev.Op.Key, k) {
+					hasAcquire[j] = true
+				}
+			}
+		}
+	}
+
+	releaseAhead := &dataflow.Flow{
+		Graph: fa.Graph,
+		N:     2 * len(fa.Keys),
+		Mode:  dataflow.MustBackward,
+		Events: func(n ast.Node, guarded bool) (gen, kill []int) {
+			return genAt[n], nil
+		},
+	}
+	ahead := releaseAhead.Solve()
+
+	// S1: replay backward, checking each acquire against the fact holding
+	// immediately after it.
+	for _, blk := range fa.Graph.Blocks {
+		releaseAhead.ReplayBackward(blk, ahead.Out[blk], func(n ast.Node, guarded bool, after dataflow.Bits) {
+			for _, i := range fa.At[n] {
+				ev := &fa.Events[i]
+				if ev.Op.Kind != summary.KindAcquire || ev.Guarded || ev.Defer != nil {
+					continue
+				}
+				k := ev.Op.Key
+				keyIdx, ok := fa.KeyBit[k]
+				if !ok {
+					continue
+				}
+				// A direct acquire with no covering release anywhere in
+				// the function is a net-acquire helper: the obligation
+				// transfers to callers through the summary. A translated
+				// acquire IS that imported obligation — always checked.
+				if ev.Op.Via == "" && !hasRelease[keyIdx] {
+					continue
+				}
+				if releasedAhead(fa, after, k, ev.Op.Mode) {
+					continue
+				}
+				pass.Reportf(ev.Op.Pos,
+					"span protocol: %s is acquired%s here but not released on every path to exit; an early return, panic, or jump out of the critical section leaks it (S1)%s",
+					k.String(), modeNoun(ev.Op.Mode), via(ev.Op.Via))
+			}
+		})
+	}
+
+	// S2: replay the may-forward held solution; a release where no path
+	// may still hold a covering operand pairs with nothing.
+	for _, blk := range fa.Graph.Blocks {
+		fa.HeldFlow.ReplayForward(blk, fa.Held.In[blk], func(n ast.Node, guarded bool, before dataflow.Bits) {
+			for _, i := range fa.At[n] {
+				ev := &fa.Events[i]
+				if ev.Op.Kind != summary.KindRelease || ev.Guarded || ev.Defer != nil {
+					continue
+				}
+				k := ev.Op.Key
+				keyIdx, ok := fa.KeyBit[k]
+				if !ok || !hasAcquire[keyIdx] {
+					continue
+				}
+				held := false
+				for bit, k2 := range fa.Keys {
+					if before.Has(bit) && covers(k, k2) {
+						held = true
+						break
+					}
+				}
+				if !held {
+					pass.Reportf(ev.Op.Pos,
+						"span protocol: %s is released here but no path to this point still holds it (double release, or release without acquire) (S2)%s",
+						k.String(), via(ev.Op.Via))
+				}
+			}
+		})
+	}
+}
+
+// releasedAhead reports whether some covering key's release bits satisfy
+// an acquire of key k in mode m.
+func releasedAhead(fa *summary.FuncAnalysis, after dataflow.Bits, k summary.Key, m summary.Mode) bool {
+	for j, k2 := range fa.Keys {
+		if !k2.Covers(k) {
+			continue
+		}
+		switch m {
+		case summary.ModeRead:
+			if after.Has(2 * j) {
+				return true
+			}
+		case summary.ModeWrite:
+			if after.Has(2*j + 1) {
+				return true
+			}
+		default:
+			if after.Has(2*j) || after.Has(2*j+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// covers is the symmetric "same lock" relation: either key generalizes the
+// other (a release loop over h.spans[s] and an acquire of h.spans[3] name
+// the same operand family member).
+func covers(a, b summary.Key) bool {
+	return a.Covers(b) || b.Covers(a)
+}
+
+func modeNoun(m summary.Mode) string {
+	switch m {
+	case summary.ModeRead:
+		return " for read"
+	case summary.ModeWrite:
+		return " for write"
+	}
+	return ""
+}
+
+func via(v string) string {
+	if v == "" {
+		return ""
+	}
+	return " (via " + v + ")"
+}

@@ -1,0 +1,12 @@
+package spanleak_test
+
+import (
+	"testing"
+
+	"sprwl/internal/analysis/analysistest"
+	"sprwl/internal/analysis/spanleak"
+)
+
+func TestSpanLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", spanleak.Analyzer, "spanpair")
+}

@@ -1,0 +1,136 @@
+// Package spanpair is the spanleak golden fixture: acquire/release
+// pairing across early returns, panic unwinds, deferred releases, loop
+// spans, labelled jumps, net-acquire helpers, and mode mismatches.
+package spanpair
+
+type mutex struct{}
+
+func (*mutex) Lock()   {}
+func (*mutex) Unlock() {}
+
+type span struct{}
+
+func (span) AcquireRead(csID int)  {}
+func (span) ReleaseRead(csID int)  {}
+func (span) AcquireWrite(csID int) {}
+func (span) ReleaseWrite(csID int) {}
+
+type handle struct {
+	spans []span
+}
+
+// --- S1: release on every exit path ---
+
+func earlyReturn(m *mutex, fail bool) {
+	m.Lock() // want `not released on every path to exit`
+	if fail {
+		return
+	}
+	m.Unlock()
+}
+
+func panicPath(m *mutex, n int) {
+	m.Lock() // want `not released on every path to exit`
+	if n < 0 {
+		panic("negative")
+	}
+	m.Unlock()
+}
+
+// deferredRelease is clean: the deferred block runs on every exit reached
+// after registration, panics included.
+func deferredRelease(m *mutex, n int) {
+	m.Lock()
+	defer m.Unlock()
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+// conditionalDefer leaks: the path that skips the registration also skips
+// the release.
+func conditionalDefer(m *mutex, c bool) {
+	m.Lock() // want `not released on every path to exit`
+	if c {
+		defer m.Unlock()
+	}
+}
+
+// loopSpan is the conforming ReadAll shape: the release loop's head is on
+// every path out, so the ascending acquires are discharged even though the
+// zero-trip edge skips both loop bodies.
+func loopSpan(h *handle) {
+	for i := 0; i < len(h.spans); i++ {
+		h.spans[i].AcquireRead(0)
+	}
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].ReleaseRead(0)
+	}
+}
+
+// labelledEscape leaks: break jumps out of the loop without crossing the
+// release.
+func labelledEscape(h *handle, stop int) {
+scan:
+	for i := range h.spans {
+		h.spans[i].AcquireRead(0) // want `not released on every path to exit`
+		if i == stop {
+			break scan
+		}
+		h.spans[i].ReleaseRead(0)
+	}
+}
+
+// --- net-acquire/net-release helpers: the locktable protocol ---
+
+// acquireAll never releases: a deliberate net-acquire helper, exempt here;
+// its obligation is re-checked at every caller.
+func acquireAll(h *handle) {
+	for i := 0; i < len(h.spans); i++ {
+		h.spans[i].AcquireRead(0)
+	}
+}
+
+// releaseAll is the mirror net-release helper, exempt from S2.
+func releaseAll(h *handle) {
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].ReleaseRead(0)
+	}
+}
+
+// pairedCaller discharges the imported obligation: clean.
+func pairedCaller(h *handle) {
+	acquireAll(h)
+	releaseAll(h)
+}
+
+// leakyCaller imports acquireAll's obligation and never discharges it.
+func leakyCaller(h *handle) {
+	acquireAll(h) // want `not released on every path to exit.*\(via acquireAll\)`
+}
+
+// --- mode pairing ---
+
+func modeMismatch(s span) {
+	s.AcquireWrite(0) // want `acquired for write here but not released`
+	s.ReleaseRead(0)
+}
+
+// --- S2: no release where nothing may be held ---
+
+func doubleRelease(m *mutex) {
+	m.Lock()
+	m.Unlock()
+	m.Unlock() // want `released here but no path to this point still holds it`
+}
+
+// allowedLeak carries the suppression directive: the reversed probe is
+// deliberate, nothing is reported, and the directive is consumed.
+func allowedLeak(m *mutex, fail bool) {
+	//sprwl:allow(spanleak) deliberate leak probe for the golden suite
+	m.Lock()
+	if fail {
+		return
+	}
+	m.Unlock()
+}

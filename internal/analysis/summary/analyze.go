@@ -1,0 +1,611 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"sprwl/internal/analysis/astq"
+	"sprwl/internal/analysis/callgraph"
+	"sprwl/internal/analysis/cfg"
+	"sprwl/internal/analysis/dataflow"
+	"sprwl/internal/analysis/driver"
+)
+
+// Set caches summaries for one loaded Program. Summaries are demand-driven
+// and bottom-up: asking for a function's summary computes (and caches) its
+// callees' first; recursion hands the in-progress caller a widened bottom.
+type Set struct {
+	prog  *driver.Program
+	cg    *callgraph.Graph
+	npkgs int
+	sums  map[any]*Summary // *types.Func or *ast.FuncLit
+	busy  map[any]bool
+}
+
+var (
+	setMu    sync.Mutex
+	setCache = map[*driver.Program]*Set{}
+)
+
+// For returns the (cached) summary set for prog, rebuilding when new
+// packages have been loaded since the last call.
+func For(prog *driver.Program) *Set {
+	setMu.Lock()
+	defer setMu.Unlock()
+	pkgs := prog.Packages()
+	if s := setCache[prog]; s != nil && s.npkgs == len(pkgs) {
+		return s
+	}
+	s := &Set{
+		prog:  prog,
+		cg:    callgraph.Build(prog, pkgs),
+		npkgs: len(pkgs),
+		sums:  make(map[any]*Summary),
+		busy:  make(map[any]bool),
+	}
+	setCache[prog] = s
+	return s
+}
+
+// bottom is the widened summary a recursive back edge (or missing source)
+// resolves to: no visible effects, explicitly incomplete.
+func bottom(widened bool) *Summary {
+	return &Summary{Incomplete: true, Widened: widened}
+}
+
+// FuncSummary returns fn's summary, computing it bottom-up. Functions
+// whose source is not loaded summarize to an incomplete bottom (the
+// closed-surface assumption: external code performs no protocol-surface
+// lock operations).
+func (s *Set) FuncSummary(fn *ast.FuncDecl, pkg *driver.Package) *Summary {
+	return s.summarize(declKey(pkg, fn), pkg, fn.Body, declCtx(pkg, fn))
+}
+
+// LitSummary returns a function literal's summary.
+func (s *Set) LitSummary(lit *ast.FuncLit, pkg *driver.Package) *Summary {
+	return s.summarize(lit, pkg, lit.Body, litCtx(pkg, lit))
+}
+
+// declKey keys a declaration by its *types.Func when available so summaries
+// computed through the callgraph and through FuncSummary share an entry.
+func declKey(pkg *driver.Package, decl *ast.FuncDecl) any {
+	if obj, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+		return obj
+	}
+	return decl
+}
+
+func (s *Set) summarize(key any, pkg *driver.Package, body *ast.BlockStmt, ctx *fnCtx) *Summary {
+	if sum, ok := s.sums[key]; ok {
+		return sum
+	}
+	if s.busy[key] {
+		return bottom(true)
+	}
+	if body == nil {
+		sum := bottom(false)
+		s.sums[key] = sum
+		return sum
+	}
+	s.busy[key] = true
+	fa := s.analyze(pkg, body, ctx)
+	delete(s.busy, key)
+	s.sums[key] = fa.Summary
+	return fa.Summary
+}
+
+// calleeSummary resolves one callgraph callee to its summary.
+func (s *Set) calleeSummary(c callgraph.Callee) *Summary {
+	if c.Lit != nil && c.Pkg != nil {
+		return s.LitSummary(c.Lit, c.Pkg)
+	}
+	if c.Func != nil {
+		if sum, ok := s.sums[c.Func]; ok {
+			return sum
+		}
+		if s.busy[c.Func] {
+			return bottom(true)
+		}
+		src, ok := s.prog.FuncSource(c.Func)
+		if !ok || src.Decl.Body == nil {
+			sum := bottom(false)
+			s.sums[c.Func] = sum
+			return sum
+		}
+		return s.summarize(c.Func, src.Pkg, src.Decl.Body, declCtx(src.Pkg, src.Decl))
+	}
+	return bottom(false)
+}
+
+// BodySummaries resolves a closure-section body argument to the summaries
+// of the functions it may invoke. complete is false when the callgraph
+// cannot enumerate them.
+func (s *Set) BodySummaries(pkg *driver.Package, body ast.Expr) ([]*Summary, []string, bool) {
+	callees, complete := s.cg.ValuesOf(pkg.Info, body)
+	var sums []*Summary
+	var names []string
+	for _, c := range callees {
+		cc := c
+		if cc.Lit != nil && cc.Pkg == nil {
+			cc.Pkg = pkg
+		}
+		sums = append(sums, s.calleeSummary(cc))
+		names = append(names, calleeName(cc))
+	}
+	return sums, names, complete
+}
+
+func calleeName(c callgraph.Callee) string {
+	if c.Func != nil {
+		return c.Func.Name()
+	}
+	return "func literal"
+}
+
+// Event is one lock operation sited in a function under analysis.
+type Event struct {
+	Op Op
+	// Node is the CFG sub-node carrying the event (normally the call).
+	Node ast.Node
+	// Block is the CFG block the event was collected in.
+	Block *cfg.Block
+	// Guarded mirrors cfg.Walk's flag: short-circuit operand,
+	// invoked-literal body, or deferred-block position.
+	Guarded bool
+	// Defer is the registering statement when the event runs in the
+	// synthetic deferred block.
+	Defer *ast.DeferStmt
+	// Loop is the innermost for/range statement enclosing the event's
+	// call, when inside ctx's body.
+	Loop ast.Stmt
+	// Spin marks a KindAcquire upgraded from the `for !m.TryLock()` idiom:
+	// the fact holds after the loop, not inside it, so held-state clients
+	// must not treat the loop body as running under the lock.
+	Spin bool
+}
+
+// FuncAnalysis is the per-function view the analyzers replay over: the
+// CFG, every direct and call-translated lock event, the pairable-key
+// universe, and a may-forward "held" dataflow solution.
+type FuncAnalysis struct {
+	Pkg    *driver.Package
+	Body   *ast.BlockStmt
+	Graph  *cfg.Graph
+	Events []Event
+	// At maps a CFG sub-node to the indices of its events.
+	At map[ast.Node][]int
+	// Keys and KeyBit define the pairable-key bit universe of the
+	// held-flow (and of spanleak's release flow, which reuses it).
+	Keys   []Key
+	KeyBit map[Key]int
+	// HeldFlow/Held solve may-forward "key may be held here" over Graph.
+	HeldFlow *dataflow.Flow
+	Held     dataflow.Facts
+	// LoopAnchor maps an enclosing loop statement to the head-block node
+	// present on every path through the loop region (the leftmost
+	// condition leaf, or the RangeStmt itself) — where loop-paired
+	// release facts anchor so the zero-trip edge does not erase them.
+	LoopAnchor map[ast.Stmt]ast.Node
+	Summary    *Summary
+
+	ctx *fnCtx
+}
+
+// Analyze builds the analysis view for a declared function.
+func (s *Set) Analyze(pkg *driver.Package, decl *ast.FuncDecl) *FuncAnalysis {
+	return s.analyze(pkg, decl.Body, declCtx(pkg, decl))
+}
+
+// AnalyzeLit builds the analysis view for a function literal (e.g. a
+// goroutine body, which has its own control flow).
+func (s *Set) AnalyzeLit(pkg *driver.Package, lit *ast.FuncLit) *FuncAnalysis {
+	return s.analyze(pkg, lit.Body, litCtx(pkg, lit))
+}
+
+func (s *Set) analyze(pkg *driver.Package, body *ast.BlockStmt, ctx *fnCtx) *FuncAnalysis {
+	fa := &FuncAnalysis{
+		Pkg:  pkg,
+		Body: body,
+		Graph: cfg.New(body, cfg.Options{
+			Info: pkg.Info,
+			NoReturn: func(call *ast.CallExpr) bool {
+				return astq.PanicsOnly(pkg.Info, call)
+			},
+		}),
+		At:         make(map[ast.Node][]int),
+		KeyBit:     make(map[Key]int),
+		LoopAnchor: make(map[ast.Stmt]ast.Node),
+		Summary:    &Summary{},
+		ctx:        ctx,
+	}
+
+	// Syntactic maps over the body: enclosing loops, loop anchors, the
+	// `for !m.TryLock()` spin idiom, and defer registration sites.
+	loops := make(map[*ast.CallExpr]ast.Stmt)
+	spin := make(map[*ast.CallExpr]bool)
+	deferOf := make(map[*ast.CallExpr]*ast.DeferStmt)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			fa.LoopAnchor[x] = condAnchor(x.Cond)
+			if call := spinTryLock(x.Cond); call != nil {
+				spin[call] = true
+			}
+		case *ast.RangeStmt:
+			fa.LoopAnchor[x] = x
+		case *ast.DeferStmt:
+			deferOf[x.Call] = x
+		case *ast.CallExpr:
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch stack[i].(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loops[x] = stack[i].(ast.Stmt)
+				case *ast.FuncLit:
+					// A literal's body has its own frame; a loop outside
+					// the literal does not iterate calls inside it.
+				default:
+					continue
+				}
+				break
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	// Collect events block by block. Within the deferred block every top
+	// node is some DeferStmt's call: the call itself (and the body of a
+	// deferred literal) runs there, while its arguments were already
+	// evaluated — and collected — at the registration site.
+	for _, blk := range fa.Graph.Blocks {
+		for _, top := range blk.Nodes {
+			if blk.Deferred {
+				call, ok := top.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				s.collectCall(fa, blk, call, true, deferOf[call], loops[call], false)
+				continue
+			}
+			cfg.Walk(top, false, func(m ast.Node, guarded bool) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				s.collectCall(fa, blk, call, guarded, nil, loops[call], spin[call])
+				return true
+			})
+		}
+	}
+
+	// Pairable-key universe and the may-forward held solution.
+	for i := range fa.Events {
+		k := fa.Events[i].Op.Key
+		if !k.Pairable() {
+			continue
+		}
+		if _, ok := fa.KeyBit[k]; !ok {
+			fa.KeyBit[k] = len(fa.Keys)
+			fa.Keys = append(fa.Keys, k)
+		}
+	}
+	fa.HeldFlow = &dataflow.Flow{
+		Graph: fa.Graph,
+		N:     len(fa.Keys),
+		Mode:  dataflow.MayForward,
+		Events: func(n ast.Node, guarded bool) (gen, kill []int) {
+			for _, i := range fa.At[n] {
+				ev := &fa.Events[i]
+				bit, ok := fa.KeyBit[ev.Op.Key]
+				if !ok {
+					continue
+				}
+				switch ev.Op.Kind {
+				case KindAcquire:
+					gen = append(gen, bit)
+				case KindRelease:
+					kill = append(kill, bit)
+				}
+			}
+			return gen, kill
+		},
+	}
+	fa.Held = fa.HeldFlow.Solve()
+
+	s.finishSummary(fa)
+	return fa
+}
+
+// collectCall classifies or summarizes one call expression into events.
+func (s *Set) collectCall(fa *FuncAnalysis, blk *cfg.Block, call *ast.CallExpr, guarded bool, root *ast.DeferStmt, loop ast.Stmt, spin bool) {
+	add := func(op Op) {
+		fa.At[call] = append(fa.At[call], len(fa.Events))
+		fa.Events = append(fa.Events, Event{
+			Op: op, Node: call, Block: blk,
+			Guarded: guarded, Defer: root, Loop: loop, Spin: spin,
+		})
+	}
+
+	if op, ok := classify(fa.ctx, call); ok {
+		if op.Kind == KindTry && spin {
+			// `for !m.TryLock() { ... }`: the loop exits holding m.
+			op.Kind = KindAcquire
+		}
+		add(op)
+		return
+	}
+
+	// An immediately-invoked literal in normal flow is inlined by
+	// cfg.Walk: its body's calls are collected individually, so applying
+	// its summary here would double-count. (In the deferred block the
+	// body is NOT walked, so the summary path below handles it.)
+	if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); isLit && root == nil {
+		return
+	}
+
+	// Not protocol surface: translate the callee's summary. Builtins and
+	// conversions resolve to an empty, complete set.
+	callees, complete := s.cg.ResolveCall(fa.Pkg.Info, call)
+	if !complete {
+		fa.Summary.Incomplete = true
+		return
+	}
+	for _, c := range callees {
+		cc := c
+		if cc.Lit != nil && cc.Pkg == nil {
+			cc.Pkg = fa.Pkg
+		}
+		sum := s.calleeSummary(cc)
+		name := calleeName(cc)
+		if sum.Incomplete {
+			fa.Summary.Incomplete = true
+		}
+		// A literal defined in this function shares its frame: captured
+		// locals are valid caller keys as-is.
+		translate := func(k Key) Key {
+			if cc.Lit != nil && k.Ref == RefLocal {
+				return k
+			}
+			tk, _ := translateKey(k, fa.ctx, call)
+			return tk
+		}
+		for _, k := range sum.NetHeld {
+			add(Op{Kind: KindAcquire, Mode: ModeAny, Key: translate(k), Pos: call.Pos(), Via: name})
+		}
+		for _, k := range sum.NetReleased {
+			add(Op{Kind: KindRelease, Mode: ModeAny, Key: translate(k), Pos: call.Pos(), Via: name})
+		}
+		for _, a := range sum.Acquired {
+			imported := Op{
+				Kind: a.Kind, Mode: a.Mode,
+				Key: Key{Class: a.Key.Class, Family: a.Key.Family},
+				Pos: call.Pos(), Via: chain(name, a.Via),
+			}
+			fa.Summary.Acquired = append(fa.Summary.Acquired, imported)
+			// Family-only pseudo-event so the edge replay can draw
+			// held-here -> acquired-in-callee order edges at this site.
+			add(imported)
+		}
+		for _, w := range sum.Waits {
+			imported := Op{Kind: KindWait, Key: w.Key, Pos: call.Pos(), Via: chain(name, w.Via)}
+			fa.Summary.Waits = append(fa.Summary.Waits, imported)
+			// Pseudo-event so held-state clients see the park at this site.
+			add(imported)
+		}
+		for _, e := range sum.Edges {
+			fa.Summary.Edges = append(fa.Summary.Edges, Edge{
+				From: e.From, To: e.To, Pos: e.Pos, Via: chain(name, e.Via),
+			})
+		}
+	}
+}
+
+// finishSummary derives the caller-visible summary from the solved view.
+func (s *Set) finishSummary(fa *FuncAnalysis) {
+	sum := fa.Summary
+
+	// Direct acquisition families and parking sites. Translated events
+	// (Via != "") are skipped: their families were already imported from
+	// the callee's own Acquired list in collectCall.
+	for i := range fa.Events {
+		ev := &fa.Events[i]
+		if ev.Op.Via != "" {
+			continue
+		}
+		switch ev.Op.Kind {
+		case KindAcquire, KindTry, KindSection:
+			sum.Acquired = append(sum.Acquired, Op{
+				Kind: ev.Op.Kind, Mode: ev.Op.Mode,
+				Key: Key{Class: ev.Op.Key.Class, Family: ev.Op.Key.Family},
+				Pos: ev.Op.Pos,
+			})
+		case KindWait:
+			sum.Waits = append(sum.Waits, ev.Op)
+		}
+	}
+
+	// Net effects. NetHeld: may-held at exit, minus keys whose release is
+	// deferred (the deferred block runs on every exit path, normal or
+	// panicking, once registration is reached; conditional registration
+	// keeps the key in the may-held set only on paths that skipped it —
+	// a report for spanleak, not for the summary, which describes what
+	// callers see after a normal return).
+	deferReleased := make(map[Key]bool)
+	acquired := make(map[id]bool)
+	for i := range fa.Events {
+		ev := &fa.Events[i]
+		if ev.Op.Kind == KindRelease && ev.Defer != nil {
+			deferReleased[ev.Op.Key] = true
+		}
+		if ev.Op.Kind == KindAcquire && ev.Op.Key.Pairable() {
+			acquired[ev.Op.Key.id()] = true
+		}
+	}
+	exitHeld := fa.Held.In[fa.Graph.Exit]
+	for k, bit := range fa.KeyBit {
+		if !exitHeld.Has(bit) {
+			continue
+		}
+		released := false
+		for dk := range deferReleased {
+			if dk.Covers(k) {
+				released = true
+				break
+			}
+		}
+		if !released {
+			sum.NetHeld = append(sum.NetHeld, k)
+		}
+	}
+	for i := range fa.Events {
+		ev := &fa.Events[i]
+		if ev.Op.Kind != KindRelease || !ev.Op.Key.Pairable() {
+			continue
+		}
+		if !acquired[ev.Op.Key.id()] {
+			sum.NetReleased = appendKeyOnce(sum.NetReleased, ev.Op.Key)
+		}
+	}
+	sortKeys(sum.NetHeld)
+	sortKeys(sum.NetReleased)
+
+	// Order edges: at each acquiring event, an edge from every family that
+	// may be held to the acquired family. Self-edges are dropped — same-
+	// family ordering is the index rules' job (DESIGN §12 L2/L3), and a
+	// loop acquiring h.spans[s] while holding h.spans[s-1] is the correct
+	// ascending pattern, not a cycle.
+	seenEdge := make(map[[2]string]bool)
+	for _, e := range sum.Edges {
+		seenEdge[[2]string{e.From, e.To}] = true
+	}
+	for _, blk := range fa.Graph.Blocks {
+		fa.HeldFlow.ReplayForward(blk, fa.Held.In[blk], func(n ast.Node, guarded bool, before dataflow.Bits) {
+			for _, i := range fa.At[n] {
+				ev := &fa.Events[i]
+				switch ev.Op.Kind {
+				case KindAcquire, KindTry, KindSection:
+				default:
+					continue
+				}
+				to := ev.Op.Key.Family
+				for bit, k := range fa.Keys {
+					if !before.Has(bit) || k.Family == to {
+						continue
+					}
+					key := [2]string{k.Family, to}
+					if !seenEdge[key] {
+						seenEdge[key] = true
+						sum.Edges = append(sum.Edges, Edge{From: k.Family, To: to, Pos: ev.Op.Pos, Via: ev.Op.Via})
+					}
+				}
+			}
+		})
+	}
+
+	// Deduplicate what the summary exports so transitive imports stay
+	// bounded: one representative per acquired family and per park site,
+	// one edge per (from, to) pair.
+	sum.Acquired = dedupOps(sum.Acquired)
+	if len(sum.Waits) > 1 {
+		sum.Waits = sum.Waits[:1]
+	}
+	sum.Edges = dedupEdges(sum.Edges)
+}
+
+func dedupOps(ops []Op) []Op {
+	seen := make(map[string]bool, len(ops))
+	out := ops[:0]
+	for _, o := range ops {
+		k := o.Key.Family
+		if o.Kind == KindSection {
+			k += "#section"
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func dedupEdges(edges []Edge) []Edge {
+	seen := make(map[[2]string]bool, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		k := [2]string{e.From, e.To}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func appendKeyOnce(ks []Key, k Key) []Key {
+	for _, have := range ks {
+		if have.id() == k.id() {
+			return ks
+		}
+	}
+	return append(ks, k)
+}
+
+func sortKeys(ks []Key) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && keyLess(ks[j], ks[j-1]); j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}
+
+func keyLess(a, b Key) bool {
+	if a.Family != b.Family {
+		return a.Family < b.Family
+	}
+	return a.Path < b.Path
+}
+
+// condAnchor returns the leftmost condition leaf: the node in the loop's
+// head block evaluated on every pass through the loop region (the cond
+// lowering splits short-circuit operands into separate blocks, but the
+// leftmost leaf always lands in the head).
+func condAnchor(cond ast.Expr) ast.Node {
+	for {
+		switch x := ast.Unparen(cond).(type) {
+		case *ast.BinaryExpr:
+			if x.Op == token.LAND || x.Op == token.LOR {
+				cond = x.X
+				continue
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.NOT {
+				cond = x.X
+				continue
+			}
+		case nil:
+			return nil
+		}
+		return ast.Unparen(cond)
+	}
+}
+
+// spinTryLock recognizes `for !m.TryLock() { ... }` conditions, returning
+// the TryLock call.
+func spinTryLock(cond ast.Expr) *ast.CallExpr {
+	u, ok := ast.Unparen(cond).(*ast.UnaryExpr)
+	if !ok || u.Op != token.NOT {
+		return nil
+	}
+	call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return call
+}

@@ -1,0 +1,613 @@
+// Package summary computes interprocedural lock summaries: for every
+// function reachable from an analyzed package, which locks it acquires,
+// releases, leaves held at exit, and in what order — the facts DESIGN §11's
+// deadlock-freedom argument is written in terms of, lifted off the page and
+// onto the call graph so the lockorder and spanleak analyzers can check the
+// invariant across `core.SpanHandle`, `internal/locktable`, and
+// `internal/workload` call chains instead of one function at a time.
+//
+// # The closed lock surface
+//
+// Lock operations are recognized at call sites by method name and
+// signature (the protocol surface), not by descending into lock
+// implementations:
+//
+//   - span two-phase ops:   AcquireRead/ReleaseRead/AcquireWrite/ReleaseWrite(csID int)
+//   - closure sections:     Read/Write/ReadN/WriteN/ReadAll(..., body func(...))
+//   - baseline mutexes:     Lock/Unlock/RLock/RUnlock() and the
+//     `for !m.TryLock()` spin idiom
+//   - waiter parking:       Park(addr, expected) and Pause(addr, expected, spins)
+//
+// Everything else — interface method calls, resolved function values,
+// declared functions — is summarized bottom-up over the callgraph; calls
+// the graph cannot resolve are assumed lock-free (the closed-surface
+// assumption) but mark the summary Incomplete so clients know the verdict
+// is partial. Recursion is widened: a cycle member sees a bottom summary
+// (no effects, Incomplete) for its back edges, keeping the computation
+// finite while preserving every directly visible effect.
+//
+// # Keys and families
+//
+// A lock operand has two identities. Its Key — root object plus normalized
+// selector path, with variable indexes collapsed to "[*]" — pairs acquires
+// with releases inside one function and translates across call sites
+// (callee receiver/parameter roots rewrite to the caller's argument
+// expressions). Its Family — the operand's static type — names a node in
+// the global lock-acquisition-order graph, where per-instance identity is
+// neither available nor needed: DESIGN §11 orders whole shard families,
+// not individual shards.
+package summary
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"sprwl/internal/analysis/astq"
+	"sprwl/internal/analysis/driver"
+)
+
+// Class says which protocol surface an operation belongs to.
+type Class uint8
+
+const (
+	// ClassSpan is the two-phase SpanHandle surface:
+	// AcquireRead/ReleaseRead/AcquireWrite/ReleaseWrite(csID int).
+	ClassSpan Class = iota
+	// ClassSection is the closure-section surface:
+	// Read/Write/ReadN/WriteN/ReadAll with a func-typed final parameter.
+	ClassSection
+	// ClassBaseline is the plain mutex surface:
+	// Lock/Unlock/RLock/RUnlock/TryLock with empty parameter lists.
+	ClassBaseline
+	// ClassWait is the parking surface: Park(addr, expected) and
+	// Pause(addr, expected, spins).
+	ClassWait
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassSpan:
+		return "span"
+	case ClassSection:
+		return "section"
+	case ClassBaseline:
+		return "lock"
+	case ClassWait:
+		return "wait"
+	}
+	return "?"
+}
+
+// Mode is the read/write flavor of an operation. ModeAny marks summarized
+// effects that merge both flavors (e.g. acquireMarked's write parameter).
+type Mode uint8
+
+const (
+	ModeAny Mode = iota
+	ModeRead
+	ModeWrite
+)
+
+// Kind is what an operation does to its lock.
+type Kind uint8
+
+const (
+	// KindAcquire takes the lock and leaves it held.
+	KindAcquire Kind = iota
+	// KindRelease drops a held lock.
+	KindRelease
+	// KindSection runs a closure with the lock held: balanced by
+	// construction, but an ordering event and a leaf-constraint site.
+	KindSection
+	// KindWait parks or pauses the calling thread.
+	KindWait
+	// KindTry is a TryLock call outside the `for !m.TryLock()` idiom:
+	// conditionally acquires, tracked only as an ordering event.
+	KindTry
+)
+
+// RefKind classifies a Key's root for call-site translation.
+type RefKind uint8
+
+const (
+	// RefNone marks a family-only key: the operand could not be rooted in
+	// a named object (e.g. a call-expression receiver). Family-only keys
+	// feed the order graph but cannot pair acquires with releases.
+	RefNone RefKind = iota
+	// RefRecv roots the key in the enclosing method's receiver.
+	RefRecv
+	// RefParam roots the key in parameter Index of the enclosing function.
+	RefParam
+	// RefLocal roots the key in a local (or captured) variable.
+	RefLocal
+	// RefGlobal roots the key in a package-level variable.
+	RefGlobal
+)
+
+// Key identifies one lock operand.
+type Key struct {
+	Class Class
+	Ref   RefKind
+	// Index is the parameter index when Ref is RefParam.
+	Index int
+	// Obj is the root object (receiver, parameter, local, or global).
+	// nil for family-only keys.
+	Obj types.Object
+	// Path is the normalized selector path from the root: field accesses
+	// verbatim, constant indexes as "[c]", variable indexes as "[*]".
+	Path string
+	// Family is the operand's static type rendered "pkg.Type" — the node
+	// this operand contributes to the lock-order graph.
+	Family string
+}
+
+// Pairable reports whether the key can match acquires against releases
+// (family-only keys cannot).
+func (k Key) Pairable() bool { return k.Obj != nil }
+
+// Indexed reports whether the key's path goes through a variable index:
+// one member of a lock family, selected dynamically.
+func (k Key) Indexed() bool { return strings.Contains(k.Path, "[*]") }
+
+// id is the pairing identity: root object, path, and class. Mode and
+// reference kind are deliberately excluded — AcquireWrite and ReleaseRead
+// on the same operand must collide so mismatches are visible.
+type id struct {
+	obj   types.Object
+	path  string
+	class Class
+}
+
+func (k Key) id() id { return id{k.Obj, k.Path, k.Class} }
+
+// Covers reports whether a release on k discharges an obligation on k2:
+// same identity, or k is the "[*]" generalization of k2's constant index
+// (a release loop over h.spans[s] covers an acquire of h.spans[3]).
+func (k Key) Covers(k2 Key) bool {
+	if !k.Pairable() || !k2.Pairable() {
+		return false
+	}
+	if k.id() == k2.id() {
+		return true
+	}
+	return k.Obj == k2.Obj && k.Class == k2.Class && generalizePath(k2.Path) == k.Path
+}
+
+// generalizePath collapses constant indexes to "[*]".
+func generalizePath(p string) string {
+	var b strings.Builder
+	for i := 0; i < len(p); {
+		if p[i] == '[' {
+			j := strings.IndexByte(p[i:], ']')
+			if j < 0 {
+				b.WriteString(p[i:])
+				break
+			}
+			b.WriteString("[*]")
+			i += j + 1
+			continue
+		}
+		b.WriteByte(p[i])
+		i++
+	}
+	return b.String()
+}
+
+// String renders the key for diagnostics: the family plus any
+// distinguishing path, e.g. "locktable.Handle.spans[*]" renders from the
+// root type, or just "locks.SpinMutex" when the path is empty.
+func (k Key) String() string {
+	if k.Path == "" || k.Obj == nil {
+		return k.Family
+	}
+	root := typeName(k.Obj.Type())
+	if root == "" {
+		return k.Family
+	}
+	return root + k.Path
+}
+
+// Op is one lock operation observed in (or translated into) a function.
+type Op struct {
+	Kind Kind
+	Mode Mode
+	Key  Key
+	// Pos is the reporting position: the call site in the analyzed
+	// function (for translated ops, the call that reaches the effect).
+	Pos token.Pos
+	// Via names the callee chain for translated ops ("" for direct ones).
+	Via string
+	// BodyArg is the closure argument of a direct KindSection op.
+	BodyArg ast.Expr
+}
+
+// Describe renders the op for diagnostics.
+func (o Op) Describe() string {
+	var verb string
+	switch o.Kind {
+	case KindAcquire:
+		verb = "acquires"
+	case KindRelease:
+		verb = "releases"
+	case KindSection:
+		verb = "runs a section on"
+	case KindWait:
+		verb = "parks"
+	case KindTry:
+		verb = "try-locks"
+	}
+	s := verb
+	if o.Kind != KindWait {
+		s += " " + o.Key.String()
+	}
+	if o.Via != "" {
+		s += " (via " + o.Via + ")"
+	}
+	return s
+}
+
+// Edge is one lock-order edge: some path acquires (or sections on) family
+// To while holding a member of family From.
+type Edge struct {
+	From, To string
+	// Pos is the acquiring call site.
+	Pos token.Pos
+	// Via names the call chain when the edge was imported from a callee.
+	Via string
+}
+
+// Summary is a function's caller-visible lock behavior.
+type Summary struct {
+	// NetHeld are keys that may still be held when the function returns
+	// (deferred releases already discounted) — acquire obligations the
+	// caller inherits, in callee frame (translate before use).
+	NetHeld []Key
+	// NetReleased are keys the function releases without acquiring them
+	// itself — the release half of a net-acquire/net-release helper pair
+	// like locktable's acquireMarked/releaseMarked.
+	NetReleased []Key
+	// Acquired lists every family the function (transitively) acquires,
+	// try-locks, or sections on, with a representative site and chain —
+	// the targets of order edges from whatever the caller already holds.
+	Acquired []Op
+	// Waits lists parking sites (transitively) reachable from the
+	// function, for the leaf rule on closure-section bodies.
+	Waits []Op
+	// Edges are the function's (transitive) internal order edges at
+	// family granularity.
+	Edges []Edge
+	// Incomplete records that some call could not be resolved (or was
+	// widened away): the summary is a lower bound on the function's
+	// effects.
+	Incomplete bool
+	// Widened marks a recursion bottom handed to a cycle member.
+	Widened bool
+}
+
+// Touches reports whether the function can reach any lock operation at
+// all — the leaf condition for closure-section bodies.
+func (s *Summary) Touches() bool {
+	return len(s.Acquired) > 0 || len(s.Waits) > 0 ||
+		len(s.NetHeld) > 0 || len(s.NetReleased) > 0
+}
+
+// TouchDescribe renders the first reachable lock effect for diagnostics.
+func (s *Summary) TouchDescribe() string {
+	if len(s.Acquired) > 0 {
+		return s.Acquired[0].Describe()
+	}
+	if len(s.Waits) > 0 {
+		return s.Waits[0].Describe()
+	}
+	if len(s.NetHeld) > 0 {
+		return "leaves " + s.NetHeld[0].String() + " held"
+	}
+	if len(s.NetReleased) > 0 {
+		return "releases " + s.NetReleased[0].String()
+	}
+	return "touches locks"
+}
+
+// fnCtx is the frame keys are computed in: the receiver and parameters of
+// the function under analysis.
+type fnCtx struct {
+	pkg    *driver.Package
+	recv   types.Object
+	params []types.Object // aligned with signature indices; nil for unnamed
+}
+
+func declCtx(pkg *driver.Package, decl *ast.FuncDecl) *fnCtx {
+	ctx := &fnCtx{pkg: pkg}
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		ctx.recv = pkg.Info.Defs[decl.Recv.List[0].Names[0]]
+	}
+	ctx.params = fieldObjs(pkg, decl.Type.Params)
+	return ctx
+}
+
+func litCtx(pkg *driver.Package, lit *ast.FuncLit) *fnCtx {
+	return &fnCtx{pkg: pkg, params: fieldObjs(pkg, lit.Type.Params)}
+}
+
+func fieldObjs(pkg *driver.Package, fl *ast.FieldList) []types.Object {
+	if fl == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			objs = append(objs, nil)
+			continue
+		}
+		for _, n := range f.Names {
+			objs = append(objs, pkg.Info.Defs[n])
+		}
+	}
+	return objs
+}
+
+// classify recognizes one protocol-surface call. ok is false for calls
+// that are not lock operations (they go to the callgraph instead).
+func classify(ctx *fnCtx, call *ast.CallExpr) (Op, bool) {
+	fn := astq.CalleeFunc(ctx.pkg.Info, call)
+	if fn == nil {
+		// CalleeFunc refuses interface dispatch (the callgraph cannot name
+		// the dynamic callee), but classification is by name and signature,
+		// which the interface method carries: h.spans[s].AcquireWrite through
+		// core.SpanHandle is a span acquire no matter which handle it hits.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s := ctx.pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				fn, _ = s.Obj().(*types.Func)
+			}
+		}
+	}
+	if fn == nil {
+		return Op{}, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return Op{}, false
+	}
+	recv := recvExpr(call)
+	if recv == nil {
+		return Op{}, false
+	}
+	name := fn.Name()
+	params := sig.Params()
+	op := Op{Pos: call.Pos()}
+	switch name {
+	case "AcquireRead", "AcquireWrite", "ReleaseRead", "ReleaseWrite":
+		if params.Len() != 1 || !isIntType(params.At(0).Type()) {
+			return Op{}, false
+		}
+		op.Key = keyOf(ctx, recv, ClassSpan)
+		if strings.HasPrefix(name, "Acquire") {
+			op.Kind = KindAcquire
+		} else {
+			op.Kind = KindRelease
+		}
+		if strings.HasSuffix(name, "Read") {
+			op.Mode = ModeRead
+		} else {
+			op.Mode = ModeWrite
+		}
+	case "Read", "Write", "ReadN", "WriteN", "ReadAll":
+		n := params.Len()
+		if n == 0 || n != len(call.Args) {
+			return Op{}, false
+		}
+		if _, ok := params.At(n - 1).Type().Underlying().(*types.Signature); !ok {
+			return Op{}, false
+		}
+		op.Kind = KindSection
+		op.Key = keyOf(ctx, recv, ClassSection)
+		op.BodyArg = call.Args[n-1]
+		if strings.HasPrefix(name, "Read") {
+			op.Mode = ModeRead
+		} else {
+			op.Mode = ModeWrite
+		}
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		if params.Len() != 0 || sig.Results().Len() != 0 {
+			return Op{}, false
+		}
+		op.Key = keyOf(ctx, recv, ClassBaseline)
+		if strings.HasSuffix(name, "Unlock") {
+			op.Kind = KindRelease
+		} else {
+			op.Kind = KindAcquire
+		}
+		if strings.HasPrefix(name, "R") {
+			op.Mode = ModeRead
+		} else {
+			op.Mode = ModeWrite
+		}
+	case "TryLock":
+		if params.Len() != 0 || sig.Results().Len() != 1 {
+			return Op{}, false
+		}
+		// KindTry here; the analysis upgrades `for !m.TryLock()` spins
+		// to KindAcquire.
+		op.Kind = KindTry
+		op.Mode = ModeWrite
+		op.Key = keyOf(ctx, recv, ClassBaseline)
+	case "Park":
+		if params.Len() != 2 {
+			return Op{}, false
+		}
+		op.Kind = KindWait
+		op.Key = Key{Class: ClassWait, Family: "park"}
+	case "Pause":
+		if params.Len() != 3 {
+			return Op{}, false
+		}
+		op.Kind = KindWait
+		op.Key = Key{Class: ClassWait, Family: "park"}
+	default:
+		return Op{}, false
+	}
+	return op, true
+}
+
+// recvExpr returns the receiver expression of a method-selector call.
+func recvExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// keyOf normalizes a lock operand into a Key in ctx's frame.
+func keyOf(ctx *fnCtx, expr ast.Expr, class Class) Key {
+	k := Key{Class: class, Family: familyOf(ctx.pkg.Info, expr)}
+	path := ""
+	e := ast.Unparen(expr)
+walk:
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			path = "." + x.Sel.Name + path
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			path = "[" + indexLabel(ctx.pkg.Info, x.Index) + "]" + path
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.Ident:
+			break walk
+		default:
+			return k // family-only
+		}
+	}
+	root, _ := e.(*ast.Ident)
+	obj := ctx.pkg.Info.Uses[root]
+	if obj == nil {
+		obj = ctx.pkg.Info.Defs[root]
+	}
+	if obj == nil {
+		return k
+	}
+	k.Obj, k.Path = obj, path
+	switch {
+	case obj == ctx.recv && ctx.recv != nil:
+		k.Ref = RefRecv
+	default:
+		for i, p := range ctx.params {
+			if p != nil && p == obj {
+				k.Ref, k.Index = RefParam, i
+				return k
+			}
+		}
+		if v, ok := obj.(*types.Var); ok && astq.IsPackageLevel(v) {
+			k.Ref = RefGlobal
+		} else {
+			k.Ref = RefLocal
+		}
+	}
+	return k
+}
+
+// indexLabel renders an index expression: constant values verbatim,
+// everything else "*".
+func indexLabel(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		return tv.Value.ExactString()
+	}
+	return "*"
+}
+
+// constIndex extracts a constant integer index, if any.
+func constIndex(info *types.Info, e ast.Expr) (int, bool) {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, err := strconv.Atoi(tv.Value.ExactString()); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// familyOf renders the operand's static type as the order-graph node name.
+func familyOf(info *types.Info, e ast.Expr) string {
+	t := astq.TypeOf(info, e)
+	if t == nil {
+		return "?"
+	}
+	if name := typeName(t); name != "" {
+		return name
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// typeName renders a (possibly pointer-wrapped) named type "pkg.Name".
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// isIntType reports whether t's underlying type is a plain int.
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// translateKey rewrites a callee-frame key into the caller's frame at one
+// call site. ok is false when the key cannot be rooted in the caller (the
+// result is then family-only: order-graph material, not pairable).
+func translateKey(k Key, callerCtx *fnCtx, call *ast.CallExpr) (Key, bool) {
+	fam := Key{Class: k.Class, Family: k.Family}
+	switch k.Ref {
+	case RefGlobal:
+		return k, true
+	case RefRecv:
+		recv := recvExpr(call)
+		if recv == nil {
+			return fam, false
+		}
+		base := keyOf(callerCtx, recv, k.Class)
+		if !base.Pairable() {
+			return fam, false
+		}
+		base.Path += k.Path
+		base.Family = k.Family
+		return base, true
+	case RefParam:
+		if k.Index >= len(call.Args) {
+			return fam, false
+		}
+		base := keyOf(callerCtx, call.Args[k.Index], k.Class)
+		if !base.Pairable() {
+			return fam, false
+		}
+		base.Path += k.Path
+		base.Family = k.Family
+		return base, true
+	}
+	// Callee locals and family-only keys cannot be named by the caller.
+	return fam, false
+}
+
+// chain prepends a callee name to a via chain, capping depth so messages
+// stay readable.
+func chain(callee, via string) string {
+	if via == "" {
+		return callee
+	}
+	if strings.Count(via, " -> ") >= 2 {
+		return callee + " -> ..."
+	}
+	return callee + " -> " + via
+}

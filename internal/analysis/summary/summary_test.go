@@ -1,0 +1,285 @@
+package summary
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sprwl/internal/analysis/driver"
+)
+
+// loadPkg materializes a throwaway module holding src as package p and
+// returns the loaded package plus its summary set.
+func loadPkg(t *testing.T, src string) (*Set, *driver.Package) {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"p.go":   src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := driver.NewProgram(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.Load("example.com/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return For(prog), pkg
+}
+
+// decl finds a function declaration by name.
+func decl(t *testing.T, pkg *driver.Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// header declares the mirror lock surface the tests operate on.
+const header = `package p
+
+type mutex struct{}
+
+func (*mutex) Lock()         {}
+func (*mutex) Unlock()       {}
+func (*mutex) TryLock() bool { return true }
+
+type span struct{}
+
+func (span) AcquireRead(csID int)  {}
+func (span) ReleaseRead(csID int)  {}
+func (span) AcquireWrite(csID int) {}
+func (span) ReleaseWrite(csID int) {}
+
+type handle struct {
+	spans []span
+	m     mutex
+}
+`
+
+func TestNetHeldAndTranslation(t *testing.T) {
+	s, pkg := loadPkg(t, header+`
+func acquireAll(h *handle) {
+	for i := 0; i < len(h.spans); i++ {
+		h.spans[i].AcquireWrite(0)
+	}
+}
+
+func releaseAll(h *handle) {
+	for i := len(h.spans) - 1; i >= 0; i-- {
+		h.spans[i].ReleaseWrite(0)
+	}
+}
+
+func balanced(h *handle) {
+	acquireAll(h)
+	releaseAll(h)
+}
+`)
+	acq := s.FuncSummary(decl(t, pkg, "acquireAll"), pkg)
+	if len(acq.NetHeld) != 1 || acq.NetHeld[0].Path != ".spans[*]" || acq.NetHeld[0].Ref != RefParam {
+		t.Fatalf("acquireAll NetHeld = %+v, want one RefParam .spans[*] key", acq.NetHeld)
+	}
+	if len(acq.NetReleased) != 0 {
+		t.Fatalf("acquireAll NetReleased = %+v, want empty", acq.NetReleased)
+	}
+	rel := s.FuncSummary(decl(t, pkg, "releaseAll"), pkg)
+	if len(rel.NetReleased) != 1 || rel.NetReleased[0].Path != ".spans[*]" {
+		t.Fatalf("releaseAll NetReleased = %+v, want one .spans[*] key", rel.NetReleased)
+	}
+	if len(rel.NetHeld) != 0 {
+		t.Fatalf("releaseAll NetHeld = %+v, want empty", rel.NetHeld)
+	}
+	// The caller pairs the two translated effects: nothing stays held.
+	bal := s.FuncSummary(decl(t, pkg, "balanced"), pkg)
+	if len(bal.NetHeld) != 0 {
+		t.Fatalf("balanced NetHeld = %+v, want empty (translated acquire paired with translated release)", bal.NetHeld)
+	}
+	if !bal.Touches() {
+		t.Fatal("balanced should still report reachable lock activity")
+	}
+}
+
+func TestRecursionWidening(t *testing.T) {
+	s, pkg := loadPkg(t, header+`
+func rec(h *handle, n int) {
+	h.m.Lock()
+	if n > 0 {
+		rec(h, n-1)
+	}
+}
+
+func mutual1(h *handle) { h.m.Lock(); mutual2(h) }
+func mutual2(h *handle) { mutual1(h); h.m.Unlock() }
+`)
+	// Direct self-recursion: the back edge widens to bottom, the direct
+	// acquire survives, and the verdict is marked incomplete.
+	rec := s.FuncSummary(decl(t, pkg, "rec"), pkg)
+	if !rec.Incomplete {
+		t.Fatal("recursive summary must be Incomplete")
+	}
+	if len(rec.NetHeld) != 1 || rec.NetHeld[0].Path != ".m" {
+		t.Fatalf("rec NetHeld = %+v, want the directly acquired .m", rec.NetHeld)
+	}
+	// Mutual recursion terminates and keeps each member's direct effects.
+	m1 := s.FuncSummary(decl(t, pkg, "mutual1"), pkg)
+	if !m1.Incomplete {
+		t.Fatal("mutual recursion must be Incomplete")
+	}
+	if len(m1.Acquired) == 0 {
+		t.Fatalf("mutual1 should record its direct acquire, got %+v", m1.Acquired)
+	}
+}
+
+func TestIncompleteCallGraph(t *testing.T) {
+	s, pkg := loadPkg(t, header+`
+func viaValue(f func()) {
+	f()
+}
+
+func known(h *handle) {
+	h.m.Lock()
+	h.m.Unlock()
+}
+`)
+	// A call through an unresolvable function value is assumed lock-free
+	// but poisons completeness.
+	v := s.FuncSummary(decl(t, pkg, "viaValue"), pkg)
+	if !v.Incomplete {
+		t.Fatal("unresolved call must mark the summary Incomplete")
+	}
+	if v.Touches() {
+		t.Fatalf("unresolved call must not invent lock effects: %+v", v.Acquired)
+	}
+	k := s.FuncSummary(decl(t, pkg, "known"), pkg)
+	if k.Incomplete {
+		t.Fatal("fully resolved function must not be Incomplete")
+	}
+	if len(k.NetHeld) != 0 {
+		t.Fatalf("balanced lock/unlock should not stay held: %+v", k.NetHeld)
+	}
+}
+
+func TestSpinTryLockIdiom(t *testing.T) {
+	s, pkg := loadPkg(t, header+`
+func blockingLock(m *mutex) {
+	for !m.TryLock() {
+	}
+}
+
+func plainTry(m *mutex) bool {
+	return m.TryLock()
+}
+`)
+	b := s.FuncSummary(decl(t, pkg, "blockingLock"), pkg)
+	if len(b.NetHeld) != 1 || b.NetHeld[0].Ref != RefParam {
+		t.Fatalf("spin TryLock should net-hold its parameter, got %+v", b.NetHeld)
+	}
+	p := s.FuncSummary(decl(t, pkg, "plainTry"), pkg)
+	if len(p.NetHeld) != 0 {
+		t.Fatalf("a plain TryLock is conditional, must not net-hold: %+v", p.NetHeld)
+	}
+}
+
+func TestDeferredRelease(t *testing.T) {
+	s, pkg := loadPkg(t, header+`
+func deferred(h *handle) {
+	h.m.Lock()
+	defer h.m.Unlock()
+}
+
+func deferredLit(h *handle) {
+	h.m.Lock()
+	defer func() { h.m.Unlock() }()
+}
+`)
+	for _, name := range []string{"deferred", "deferredLit"} {
+		sum := s.FuncSummary(decl(t, pkg, name), pkg)
+		if len(sum.NetHeld) != 0 {
+			t.Fatalf("%s: deferred release should discount NetHeld, got %+v", name, sum.NetHeld)
+		}
+	}
+}
+
+func TestOrderEdges(t *testing.T) {
+	s, pkg := loadPkg(t, header+`
+func nested(h *handle) {
+	h.m.Lock()
+	h.spans[0].AcquireRead(0)
+	h.spans[0].ReleaseRead(0)
+	h.m.Unlock()
+}
+
+func viaHelper(h *handle) {
+	h.m.Lock()
+	helperAcquire(h)
+	h.m.Unlock()
+}
+
+func helperAcquire(h *handle) {
+	h.spans[1].AcquireRead(0)
+	h.spans[1].ReleaseRead(0)
+}
+`)
+	n := s.FuncSummary(decl(t, pkg, "nested"), pkg)
+	if len(n.Edges) != 1 || n.Edges[0].From != "p.mutex" || n.Edges[0].To != "p.span" {
+		t.Fatalf("nested edges = %+v, want p.mutex -> p.span", n.Edges)
+	}
+	// The same edge must surface interprocedurally: the caller holds the
+	// mutex across a call whose summary acquires the span family.
+	v := s.FuncSummary(decl(t, pkg, "viaHelper"), pkg)
+	found := false
+	for _, e := range v.Edges {
+		if e.From == "p.mutex" && e.To == "p.span" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("viaHelper edges = %+v, want p.mutex -> p.span via helperAcquire", v.Edges)
+	}
+}
+
+func TestBodySummaries(t *testing.T) {
+	s, pkg := loadPkg(t, header+`
+type lock struct{}
+
+func (lock) Read(csID int, body func(int))  {}
+func (lock) Write(csID int, body func(int)) {}
+
+func sections(h *handle, l lock) {
+	l.Read(0, func(int) {})
+	l.Write(0, func(int) { h.m.Lock(); h.m.Unlock() })
+}
+`)
+	fa := s.Analyze(pkg, decl(t, pkg, "sections"))
+	var bodies []ast.Expr
+	for _, ev := range fa.Events {
+		if ev.Op.Kind == KindSection {
+			bodies = append(bodies, ev.Op.BodyArg)
+		}
+	}
+	if len(bodies) != 2 {
+		t.Fatalf("got %d section events, want 2", len(bodies))
+	}
+	clean, _, complete := s.BodySummaries(pkg, bodies[0])
+	if !complete || len(clean) != 1 || clean[0].Touches() {
+		t.Fatalf("clean body: complete=%v sums=%+v", complete, clean)
+	}
+	dirty, _, complete := s.BodySummaries(pkg, bodies[1])
+	if !complete || len(dirty) != 1 || !dirty[0].Touches() {
+		t.Fatalf("locking body must report Touches: complete=%v sums=%+v", complete, dirty)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"sprwl/internal/memmodel"
 )
@@ -209,5 +210,80 @@ func TestAcquireNStress(t *testing.T) {
 				t.Errorf("seed %d: mirror %d = %d, oracle says %d", seed, k, got, wantS[k])
 			}
 		}
+	}
+}
+
+// TestRandomOrderSpanFuzz generalizes TestReversedOrderAcquisition from a
+// fixed two-goroutine/two-key antagonist to a randomized N-goroutine fuzz:
+// every worker repeatedly spans a random-width subset of per-shard keys
+// named in a random permutation, so every pair of concurrent spans names
+// overlapping shards in conflicting argument orders. The sort-then-lock
+// step inside AcquireN (acquireMarked's ascending bitmap scan — the
+// mechanized lockorder L2 invariant) is the only thing standing between
+// this schedule and an AB/BA deadlock, which the wall-clock guard converts
+// into a test failure instead of a hung run.
+func TestRandomOrderSpanFuzz(t *testing.T) {
+	const (
+		fuzzShards  = 16
+		fuzzWorkers = 6
+		fuzzMaxW    = 5
+	)
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	tbl, e, ar := newTable(t, Config{Shards: fuzzShards, Threads: fuzzWorkers})
+	counter := ar.AllocLines(1)
+	keys := make([]uint64, fuzzShards)
+	for s := range keys {
+		keys[s] = keyForShard(t, tbl, s)
+	}
+
+	writes := make([]int, fuzzWorkers)
+	done := make(chan int, fuzzWorkers)
+	for g := 0; g < fuzzWorkers; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(g)*104729 + 1))
+			h := tbl.NewHandle(g)
+			span := make([]uint64, 0, fuzzMaxW)
+			for i := 0; i < iters; i++ {
+				// A random permutation's prefix is a uniform random subset
+				// in uniform random order: maximal order conflict between
+				// concurrent workers.
+				w := 2 + rng.Intn(fuzzMaxW-1)
+				perm := rng.Perm(fuzzShards)
+				span = span[:0]
+				for _, s := range perm[:w] {
+					span = append(span, keys[s])
+				}
+				if rng.Intn(4) == 0 {
+					h.ReadN(span, 0, func(acc memmodel.Accessor) {
+						acc.Load(counter)
+					})
+				} else {
+					writes[g]++
+					h.WriteN(span, 0, func(acc memmodel.Accessor) {
+						acc.Store(counter, acc.Load(counter)+1)
+					})
+				}
+			}
+			done <- g
+		}(g)
+	}
+
+	timeout := time.After(90 * time.Second)
+	for n := 0; n < fuzzWorkers; n++ {
+		select {
+		case <-done:
+		case <-timeout:
+			t.Fatal("randomized-order spans deadlocked")
+		}
+	}
+	var want uint64
+	for _, n := range writes {
+		want += uint64(n)
+	}
+	if got := e.Load(counter); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
 	}
 }
