@@ -18,7 +18,11 @@
 // With -json the run is emitted as a single machine-readable object on
 // stdout (diagnostics, suppressed findings, stale allows, and counts; see
 // the report type) for CI artifacts and dashboards; the human format and
-// exit codes are unchanged otherwise.
+// exit codes are unchanged otherwise. When -baseline is also given the
+// object carries a "baseline" section: the snapshot path, how many run
+// findings the baseline suppressed, the fresh findings that fail the
+// gate, and the stale snapshot entries awaiting a -write-baseline
+// refresh.
 //
 // -baseline <file> turns the run into a regression gate against a
 // committed snapshot (itself a -json report, conventionally
@@ -70,18 +74,35 @@ type finding struct {
 	Message  string `json:"message"`
 }
 
-// staleAllow is one unused suppression directive in the -json report.
+// staleAllow is one unused suppression directive in the -json report,
+// with the full position and the analyzer names it claims to silence so
+// dashboards can link straight to the directive.
 type staleAllow struct {
 	File      string   `json:"file"`
 	Line      int      `json:"line"`
+	Column    int      `json:"column"`
 	Analyzers []string `json:"analyzers"`
+}
+
+// baselineReport is the -json section describing a -baseline gated run:
+// how many findings the committed snapshot silenced, which findings are
+// new (gate failures), and which snapshot entries are stale because no
+// run diagnostic reproduces them (the baseline must shrink).
+type baselineReport struct {
+	Path string `json:"path"`
+	// Suppressed counts run diagnostics matched — and therefore
+	// silenced — by a baseline entry.
+	Suppressed int       `json:"suppressed"`
+	Fresh      []finding `json:"fresh"`
+	Stale      []finding `json:"stale"`
 }
 
 // report is the top-level -json object.
 type report struct {
-	Diagnostics []finding    `json:"diagnostics"`
-	Suppressed  []finding    `json:"suppressed"`
-	StaleAllows []staleAllow `json:"staleAllows"`
+	Diagnostics []finding       `json:"diagnostics"`
+	Suppressed  []finding       `json:"suppressed"`
+	StaleAllows []staleAllow    `json:"staleAllows"`
+	Baseline    *baselineReport `json:"baseline,omitempty"`
 	Counts      struct {
 		Diagnostics int `json:"diagnostics"`
 		Suppressed  int `json:"suppressed"`
@@ -141,11 +162,34 @@ func main() {
 	r.StaleAllows = make([]staleAllow, 0, len(res.StaleAllows))
 	for _, a := range res.StaleAllows {
 		p := prog.Fset.Position(a.Pos)
-		r.StaleAllows = append(r.StaleAllows, staleAllow{File: rel(p.Filename), Line: p.Line, Analyzers: a.Names})
+		r.StaleAllows = append(r.StaleAllows, staleAllow{File: rel(p.Filename), Line: p.Line, Column: p.Column, Analyzers: a.Names})
 	}
 	r.Counts.Diagnostics = len(r.Diagnostics)
 	r.Counts.Suppressed = len(r.Suppressed)
 	r.Counts.StaleAllows = len(r.StaleAllows)
+
+	// The baseline diff runs before emission so a -json run carries the
+	// gate's verdict in the same object CI archives.
+	var fresh, fixed []finding
+	if *baselinePath != "" {
+		fresh, fixed, err = diffBaseline(*baselinePath, r.Diagnostics)
+		if err != nil {
+			fatal(err)
+		}
+		b := &baselineReport{
+			Path:       *baselinePath,
+			Suppressed: len(r.Diagnostics) - len(fresh),
+			Fresh:      fresh,
+			Stale:      fixed,
+		}
+		if b.Fresh == nil {
+			b.Fresh = []finding{}
+		}
+		if b.Stale == nil {
+			b.Stale = []finding{}
+		}
+		r.Baseline = b
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -174,10 +218,6 @@ func main() {
 	}
 
 	if *baselinePath != "" {
-		fresh, fixed, err := diffBaseline(*baselinePath, r.Diagnostics)
-		if err != nil {
-			fatal(err)
-		}
 		for _, f := range fresh {
 			fmt.Fprintf(os.Stderr, "sprwl-lint: new finding not in baseline: %s:%d: %s: %s\n", f.File, f.Line, f.Analyzer, f.Message)
 		}

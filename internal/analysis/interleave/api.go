@@ -1,0 +1,27 @@
+package interleave
+
+// Exported facade for cmd/sprwl-model: one type-checked module load,
+// reused across every config and mutation build.
+
+// Extractor wraps the loaded, type-checked module.
+type Extractor struct{ ex *extractor }
+
+// NewExtractor loads the module containing dir for extraction.
+func NewExtractor(dir string) (*Extractor, error) {
+	ex, err := newExtractor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Extractor{ex: ex}, nil
+}
+
+// Build extracts and assembles the named shipped configuration,
+// unmutated.
+func (e *Extractor) Build(name string) (*Model, error) {
+	return BuildConfig(e.ex, name, nil)
+}
+
+// Mutate runs the named seeded-bug self-test under both semantics.
+func (e *Extractor) Mutate(mut Mutation, opts ExploreOpts) []MutationResult {
+	return RunMutation(e.ex, mut, opts)
+}

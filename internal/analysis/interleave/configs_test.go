@@ -1,0 +1,60 @@
+package interleave
+
+import "testing"
+
+// TestConfigsVerifyClean is the headline property: every shipped
+// configuration of the real, extracted protocol verifies mutual
+// exclusion, section-body integrity, quiescence, and
+// lost-wakeup/deadlock freedom under both memory semantics, with the
+// search completing inside CI-short bounds.
+func TestConfigsVerifyClean(t *testing.T) {
+	ex := testExtractor(t)
+	for _, name := range ConfigNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := BuildConfig(ex, name, nil)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			for _, sem := range []Sem{SemSC, SemTSO} {
+				res := RunModel(m, sem, ExploreOpts{})
+				if !res.Complete {
+					t.Errorf("%s: exploration incomplete (states=%d, depth=%d)", sem, res.States, res.MaxDepth)
+					continue
+				}
+				if res.Violation != nil {
+					t.Errorf("%s: %s\n%s", sem, res.Violation.Msg, RenderTrace(res.Violation))
+				}
+				if res.States == 0 || res.Transitions == 0 {
+					t.Errorf("%s: empty exploration (states=%d transitions=%d)", sem, res.States, res.Transitions)
+				}
+			}
+		})
+	}
+}
+
+// TestDPORPrunes: the sleep-set reduction must actually prune on the
+// flagship three-thread config — a reduction that stops pruning silently
+// turns CI-short bounds into a state explosion.
+func TestDPORPrunes(t *testing.T) {
+	ex := testExtractor(t)
+	m, err := BuildConfig(ex, "rsync-2r1w", nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res := RunModel(m, SemSC, ExploreOpts{})
+	if !res.Complete {
+		t.Fatalf("flagship config incomplete: states=%d", res.States)
+	}
+	if res.Pruned == 0 {
+		t.Error("sleep-set reduction pruned nothing on a three-thread config")
+	}
+}
+
+// TestUnknownConfig: a typo'd -config fails loudly, listing the options.
+func TestUnknownConfig(t *testing.T) {
+	ex := testExtractor(t)
+	if _, err := BuildConfig(ex, "no-such-config", nil); err == nil {
+		t.Fatal("unknown config built successfully")
+	}
+}

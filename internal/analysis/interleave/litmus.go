@@ -1,0 +1,104 @@
+package interleave
+
+// Litmus shapes calibrating the two memory semantics against their
+// textbook outcomes. Each is a two-thread program over cells x, y with
+// per-thread result cells, and a FinalNever predicate naming the
+// forbidden outcome. The expected-verdict table is the golden the
+// litmus suite pins:
+//
+//   SB (store buffering):   x=1; r0=y || y=1; r1=x;  r0=r1=0
+//     forbidden under SC, observable under TSO — the one shape that
+//     separates the two semantics, and exactly the reordering the
+//     protocol's flag-then-check fence exists to prevent.
+//   MP (message passing):   data=1; flag=1 || r0=flag; r1=data;  r0=1, r1=0
+//     forbidden under both: TSO store buffers drain in FIFO order, so
+//     plain stores alone keep the publication ordered.
+//   LB (load buffering):    r0=y; x=1 || r1=x; y=1;  r0=r1=1
+//     forbidden under both: neither semantics lets a load see a store
+//     that program order places after it.
+
+// Litmus cells.
+const (
+	litX    = 0
+	litY    = 1
+	litRes0 = 2
+	litRes1 = 3
+)
+
+// LitmusVerdict records the expected outcome of one shape under one
+// semantics.
+type LitmusVerdict struct {
+	Name      string
+	Sem       Sem
+	Forbidden bool // true: the forbidden outcome must NOT be reachable
+}
+
+// LitmusExpectations is the golden verdict table: Forbidden=false means
+// the checker must find the outcome (a FinalNever violation).
+var LitmusExpectations = []LitmusVerdict{
+	{"sb", SemSC, true},
+	{"sb", SemTSO, false},
+	{"mp", SemSC, true},
+	{"mp", SemTSO, true},
+	{"lb", SemSC, true},
+	{"lb", SemTSO, true},
+}
+
+func litmusCellNames() map[uint64]string {
+	return map[uint64]string{litX: "x", litY: "y", litRes0: "r0", litRes1: "r1"}
+}
+
+// litmusThread builds one side of a shape: an optional store, an
+// optional load into a register published to a result cell. All
+// accesses are plain (unfenced) — the point is the raw semantics.
+func litmusModel(name string, t0, t1 []Instr, forbidden []uint64, desc string) *Model {
+	finish := func(code []Instr, tname string) *Prog {
+		code = append(code, Instr{Op: OpHalt, Site: tname})
+		n := 0
+		for _, in := range code {
+			if int(in.Dst) >= n {
+				n = int(in.Dst) + 1
+			}
+		}
+		return &Prog{Name: tname, Code: code, NRegs: n}
+	}
+	return &Model{
+		Name:      name,
+		Threads:   []ThreadSpec{{"T0", finish(t0, "T0")}, {"T1", finish(t1, "T1")}},
+		MemSize:   4,
+		CellNames: litmusCellNames(),
+		Finals: []Final{{
+			Kind:   FinalNever,
+			Cells:  []uint64{litRes0, litRes1},
+			Values: forbidden,
+			Desc:   desc,
+		}},
+	}
+}
+
+// LitmusModels returns the shipped shapes by name.
+func LitmusModels() map[string]*Model {
+	store := func(loc, val uint64) Instr {
+		return Instr{Op: OpStore, Loc: Konst(loc), Val: Konst(val)}
+	}
+	load := func(loc uint64, dst Reg) Instr {
+		return Instr{Op: OpLoad, Loc: Konst(loc), Dst: dst}
+	}
+	publish := func(loc uint64, src Reg) Instr {
+		return Instr{Op: OpStore, Loc: Konst(loc), Val: RegRef(src)}
+	}
+	return map[string]*Model{
+		"sb": litmusModel("sb",
+			[]Instr{store(litX, 1), load(litY, 0), publish(litRes0, 0)},
+			[]Instr{store(litY, 1), load(litX, 0), publish(litRes1, 0)},
+			[]uint64{0, 0}, "store buffering: both loads miss both stores"),
+		"mp": litmusModel("mp",
+			[]Instr{store(litX, 1), store(litY, 1)},
+			[]Instr{load(litY, 0), publish(litRes0, 0), load(litX, 1), publish(litRes1, 1)},
+			[]uint64{1, 0}, "message passing: flag seen, data missed"),
+		"lb": litmusModel("lb",
+			[]Instr{load(litY, 0), store(litX, 1), publish(litRes0, 0)},
+			[]Instr{load(litX, 0), store(litY, 1), publish(litRes1, 0)},
+			[]uint64{1, 1}, "load buffering: each load sees the other's later store"),
+	}
+}

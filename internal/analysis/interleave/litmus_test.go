@@ -1,0 +1,47 @@
+package interleave
+
+import "testing"
+
+// TestLitmusVerdicts runs every shipped shape against the golden verdict
+// table: SB separates SC from TSO; MP and LB are forbidden under both.
+func TestLitmusVerdicts(t *testing.T) {
+	models := LitmusModels()
+	for _, want := range LitmusExpectations {
+		m, ok := models[want.Name]
+		if !ok {
+			t.Fatalf("no litmus model %q", want.Name)
+		}
+		res := RunModel(m, want.Sem, ExploreOpts{})
+		if !res.Complete {
+			t.Errorf("%s/%s: exploration incomplete", want.Name, want.Sem)
+			continue
+		}
+		if want.Forbidden && res.Violation != nil {
+			t.Errorf("%s/%s: forbidden outcome reached:\n%s", want.Name, want.Sem, RenderTrace(res.Violation))
+		}
+		if !want.Forbidden && res.Violation == nil {
+			t.Errorf("%s/%s: outcome should be observable but the checker verified clean", want.Name, want.Sem)
+		}
+	}
+}
+
+// TestLitmusSBTraceMinimized: the one observable outcome (SB under TSO)
+// must come with a minimized schedule that still renders.
+func TestLitmusSBTraceMinimized(t *testing.T) {
+	res := RunModel(LitmusModels()["sb"], SemTSO, ExploreOpts{})
+	if res.Violation == nil {
+		t.Fatal("SB under TSO verified clean")
+	}
+	if res.Violation.Kind != ViolFinal {
+		t.Fatalf("SB violation kind = %s, want %s", res.Violation.Kind, ViolFinal)
+	}
+	if !res.Violation.Minimized {
+		t.Error("SB counterexample was not minimized")
+	}
+	if len(res.Violation.Trace) == 0 {
+		t.Error("SB counterexample has an empty trace")
+	}
+	if RenderTrace(res.Violation) == "" {
+		t.Error("empty rendered trace")
+	}
+}

@@ -1,0 +1,51 @@
+package interleave
+
+import "testing"
+
+// TestMutationsCaught is the checker's falsifiability self-test: every
+// seeded protocol bug must be reported with the expected violation kind
+// — and semantics expected clean (unfence-arrive under SC) must verify
+// clean. A counterexample must come with a non-empty schedule.
+func TestMutationsCaught(t *testing.T) {
+	ex := testExtractor(t)
+	for _, mut := range Mutations() {
+		mut := mut
+		t.Run(mut.Name, func(t *testing.T) {
+			for _, mr := range RunMutation(ex, mut, ExploreOpts{}) {
+				if !mr.Caught {
+					t.Errorf("%s: %s", mr.Sem, mr.Err)
+					continue
+				}
+				if mr.Expected == "" {
+					continue // expected-clean semantics: nothing more to check
+				}
+				v := mr.Run.Violation
+				if len(v.Trace) == 0 {
+					t.Errorf("%s: counterexample has no trace", mr.Sem)
+				}
+				if !v.Minimized {
+					t.Errorf("%s: counterexample was not minimized", mr.Sem)
+				}
+			}
+		})
+	}
+}
+
+// TestDropWakeTraceEndsAsleep: the §10 drop-wake counterexample must
+// leave a reader asleep — the trace's stuck state is a parked thread no
+// one will ever wake, not a generic deadlock.
+func TestDropWakeTraceEndsAsleep(t *testing.T) {
+	ex := testExtractor(t)
+	mut, ok := FindMutation("drop-wake")
+	if !ok {
+		t.Fatal("drop-wake mutation missing from the registry")
+	}
+	for _, mr := range RunMutation(ex, mut, ExploreOpts{}) {
+		if !mr.Caught {
+			t.Fatalf("%s: %s", mr.Sem, mr.Err)
+		}
+		if got := mr.Run.Violation.Kind; got != ViolLostWake {
+			t.Errorf("%s: kind = %s, want %s", mr.Sem, got, ViolLostWake)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 // with direct, fence-ordered accesses, untracked by any transaction.
 //
 //sprwl:hotpath
+//sprwl:model
 func (h *handle) Read(csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
@@ -92,6 +93,8 @@ func (h *handle) readTryHTM(csID int, start uint64, body rwlock.Body) bool {
 
 // readersWait implements Alg. 2's Readers_Wait: wait for the active writer
 // predicted to complete last, or join a reader that is already waiting.
+//
+//sprwl:model
 func (h *handle) readersWait(csID int) {
 	l := h.l
 	wait := -1
@@ -164,6 +167,8 @@ func (h *handle) readersWait(csID int) {
 // older version and (2) no reader flag — and the reader transitions from
 // registration to flag in that order, so it is visible to the writer in at
 // least one of the two scans at every instant.
+//
+//sprwl:model
 func (h *handle) flagReaderAndSyncGL(csID int) {
 	l := h.l
 	// The §3.3 registration words are per-slot; a dynamic reader takes
@@ -207,12 +212,17 @@ func (h *handle) flagReaderAndSyncGL(csID int) {
 				break
 			}
 		}
-		// Wait for the lock to clear or the version to move past us,
-		// parking on the lock word: both exits are preceded by a wake
-		// on it (SpinMutex.Unlock after a release; lockGL's explicit
-		// wake after a version bump).
+		// Wait for the lock to clear or the version to move past us.
+		// This wait must spin: it exits on a disjunction over two words
+		// (lock word clears, or glVer advances), and Table.Park's
+		// internal re-check can only re-validate the single parked
+		// word. Parking on the lock word loses the version exit — a
+		// writer can bump glVer and wake the lock word before our
+		// waiter count is visible, then park in its own §3.3 drain
+		// waiting for the registration we will never retire: a
+		// lost-wakeup cycle (found by sprwl-model on vsgl-1r1w).
 		waitStart := l.e.Now()
-		w := h.glWaiter()
+		w := park.Waiter{E: l.e, Pol: park.SpinPark()}
 		glAddr := l.gl.Addr()
 		for l.gl.IsLocked() && l.e.Load(l.glVer) <= observed {
 			w.Pause(glAddr, locks.SpinLocked, 0)
@@ -232,6 +242,7 @@ func (h *handle) flagReaderAndSyncGL(csID int) {
 	}
 }
 
+//sprwl:model
 func (h *handle) flagReader() {
 	l := h.l
 	for {
@@ -259,4 +270,5 @@ func (h *handle) flagReader() {
 	}
 }
 
+//sprwl:model
 func (h *handle) unflagReader() { h.departFrom(h.flaggedIn) }

@@ -21,6 +21,8 @@ func (h *handle) glWaiter() park.Waiter {
 // event when one actually occurred. It is the shared pre-wait of the reader
 // flag-and-check loop (Alg. 1 lines 28–32) and the writer attempt loop
 // (Alg. 1 line 34); the SpinMutex release wakes parked waiters.
+//
+//sprwl:model
 func (h *handle) awaitGLClear(rw uint8, csID int) {
 	l := h.l
 	w := h.glWaiter()

@@ -21,6 +21,7 @@ import (
 // fallback lock, waits for active readers to drain, and runs pessimistically.
 //
 //sprwl:hotpath
+//sprwl:model
 func (h *handle) Write(csID int, body rwlock.Body) {
 	l := h.l
 	start := l.e.Now()
@@ -73,6 +74,8 @@ func (h *handle) Write(csID int, body rwlock.Body) {
 
 // writeFallback is the pessimistic path (Alg. 1 lines 43–45): take the
 // global lock, drain active readers, run directly.
+//
+//sprwl:model
 func (h *handle) writeFallback(csID int, start uint64, body rwlock.Body) {
 	l := h.l
 	h.lockGL(csID)
@@ -91,6 +94,8 @@ func (h *handle) writeFallback(csID int, start uint64, body rwlock.Body) {
 // unlock order) and records bookkeeping. The retirement store is the phase
 // word synchronized readers park on, so every writer-retire path is
 // store-then-wake.
+//
+//sprwl:model
 func (h *handle) finishWrite(csID int, start uint64, mode env.CommitMode) {
 	l := h.l
 	if l.opts.ReaderSync && h.slot >= 0 {
@@ -157,6 +162,8 @@ func (h *handle) writerWait(csID int) {
 // registered against an older version. The registration scan precedes
 // waitForReaders; a reader moving from registration to flag does so in the
 // opposite order, so it is visible in at least one scan at every moment.
+//
+//sprwl:model
 func (h *handle) lockGL(csID int) {
 	l := h.l
 	l.gl.Lock()
@@ -191,6 +198,8 @@ func (h *handle) lockGL(csID int) {
 // uninstrumented reader to finish. New readers cannot start meanwhile —
 // they flag, observe the held lock, retract, and wait — which is what makes
 // this wait finite even under a constant reader stream (§3.3).
+//
+//sprwl:model
 func (h *handle) waitForReaders(csID int) {
 	l := h.l
 	drainStart := l.e.Now()
@@ -222,6 +231,8 @@ func (h *handle) waitForReaders(csID int) {
 // restoreReaderBias re-enables BRAVO read bias at the end of a fallback
 // write, while the fallback lock is still held (so Revoke/Restore pairs
 // are serialized by the lock).
+//
+//sprwl:model
 func (h *handle) restoreReaderBias() {
 	if l := h.l; l.indBravo != nil {
 		l.indBravo.Restore()

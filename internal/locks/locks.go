@@ -45,6 +45,8 @@ func NewSpinMutex(e env.Env, a memmodel.Addr) SpinMutex {
 func (m SpinMutex) Addr() memmodel.Addr { return m.a }
 
 // Lock acquires the mutex: test-and-test-and-set with spin-then-park.
+//
+//sprwl:model
 func (m SpinMutex) Lock() {
 	w := park.Waiter{E: m.e, P: m.hub.Parker(), Pol: park.SpinPark()}
 	for {
@@ -61,6 +63,8 @@ func (m SpinMutex) TryLock() bool {
 }
 
 // Unlock releases the mutex and wakes parked waiters (store-then-wake).
+//
+//sprwl:model
 func (m SpinMutex) Unlock() {
 	m.e.Store(m.a, 0)
 	m.hub.Wake(m.a)
@@ -69,9 +73,13 @@ func (m SpinMutex) Unlock() {
 // Wake re-wakes parked waiters without changing the lock word, for owners
 // whose release consists of a phase store elsewhere (the §3.3 versioned
 // SGL bumps its version while the lock stays held).
+//
+//sprwl:model
 func (m SpinMutex) Wake() { m.hub.Wake(m.a) }
 
 // IsLocked reports the lock word's current state.
+//
+//sprwl:model
 func (m SpinMutex) IsLocked() bool { return m.e.Load(m.a) != 0 }
 
 // blockingLock acquires m with the pessimistic spin-then-block wait

@@ -107,6 +107,7 @@ func (h Hub) Parker() Parker { return h.p }
 // Wake wakes every thread parked on a, after the caller's phase store.
 //
 //sprwl:hotpath
+//sprwl:model
 func (h Hub) Wake(a memmodel.Addr) {
 	if h.p != nil {
 		h.p.Wake(a)
@@ -161,6 +162,8 @@ func shardIndex(a memmodel.Addr) int {
 // the lock, and sleep until a wake (or a spurious shard broadcast). The
 // no-sleep path — the word no longer holds expected — performs no
 // allocation and no blocking beyond the shard lock.
+//
+//sprwl:model
 func (t *Table) Park(a memmodel.Addr, expected uint64) {
 	s := &t.shards[shardIndex(a)]
 	s.mu.Lock()
@@ -180,6 +183,7 @@ func (t *Table) Park(a memmodel.Addr, expected uint64) {
 // almost never have parked waiters.
 //
 //sprwl:hotpath
+//sprwl:model
 func (t *Table) Wake(a memmodel.Addr) {
 	s := &t.shards[shardIndex(a)]
 	if s.waiters.Load() == 0 {

@@ -114,6 +114,7 @@ func (b *Bravo) slotAddr(i int) memmodel.Addr {
 // the overflow counter when the probes collide or the bias is revoked.
 //
 //sprwl:hotpath
+//sprwl:model
 func (b *Bravo) Arrive(hint uint64) uint64 {
 	if b.mem.Load(b.ctl)&1 != 0 {
 		h := Mix64(hint)
@@ -133,6 +134,7 @@ func (b *Bravo) Arrive(hint uint64) uint64 {
 // Depart implements Indicator.
 //
 //sprwl:hotpath
+//sprwl:model
 func (b *Bravo) Depart(token uint64) {
 	if token == OverflowToken {
 		b.mem.Add(b.over, ^uint64(0))
@@ -161,6 +163,8 @@ func (b *Bravo) Check(tx TxMemory, _ int) bool {
 // Drain implements Indicator: wait out each table slot, then the overflow
 // counter. Callers revoke the bias first (Revoke) so new arrivals land on
 // the overflow line and the per-slot waits converge.
+//
+//sprwl:model
 func (b *Bravo) Drain(y Yielder) {
 	for i := 0; i < b.n; i++ {
 		for b.mem.Load(b.slotAddr(i)) != 0 {
@@ -176,6 +180,8 @@ func (b *Bravo) Drain(y Yielder) {
 // steering new arrivals onto the overflow counter. Only the fallback-lock
 // holder may call it (stores to ctl are unsynchronized); pair with Restore
 // before releasing the lock.
+//
+//sprwl:model
 func (b *Bravo) Revoke() {
 	epoch := b.mem.Load(b.ctl) >> 1
 	b.mem.Store(b.ctl, (epoch+1)<<1)
@@ -183,6 +189,8 @@ func (b *Bravo) Revoke() {
 }
 
 // Restore re-arms the reader bias after a revocation.
+//
+//sprwl:model
 func (b *Bravo) Restore() {
 	b.mem.Store(b.ctl, b.mem.Load(b.ctl)|1)
 }

@@ -35,6 +35,7 @@ func (f Flags) addr(i int) memmodel.Addr { return f.base + memmodel.Addr(i) }
 // Arrive implements Indicator. hint must be the caller's slot in [0, n).
 //
 //sprwl:hotpath
+//sprwl:model
 func (f Flags) Arrive(hint uint64) uint64 {
 	f.mem.Store(f.addr(int(hint)), flagActive)
 	return hint
@@ -43,6 +44,7 @@ func (f Flags) Arrive(hint uint64) uint64 {
 // Depart implements Indicator.
 //
 //sprwl:hotpath
+//sprwl:model
 func (f Flags) Depart(token uint64) {
 	f.mem.Store(f.addr(int(token)), flagEmpty)
 }
@@ -62,6 +64,8 @@ func (f Flags) Check(tx TxMemory, skip int) bool {
 
 // Drain implements Indicator: wait, at most once per slot, for every
 // active reader to retract.
+//
+//sprwl:model
 func (f Flags) Drain(y Yielder) {
 	for i := 0; i < f.n; i++ {
 		for f.mem.Load(f.addr(i)) == flagActive {
