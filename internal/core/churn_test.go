@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprwl/internal/htm"
+	"sprwl/internal/memmodel"
+)
+
+// TestDynamicHandleChurn hammers the BRAVO revocation-epoch protocol with
+// handle lifetime churn: goroutines continuously create a dynamic handle,
+// read a few times, and drop it, while writers — including a dynamic writer
+// that always takes the fallback path and therefore drains readers through
+// Check/Revoke — commit concurrently. The danger being probed is a stranded
+// reader slot: a visible-readers entry left behind by a dropped handle (or
+// orphaned across a revocation epoch), which would make every later drain
+// spin forever. The oracle is threefold: reads never observe a torn
+// counter/mirror pair, the final counter equals the number of writes, and a
+// final fallback write's drain completes under a watchdog after all
+// churners are gone.
+func TestDynamicHandleChurn(t *testing.T) {
+	for _, procs := range []int{2, 8} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			runDynamicChurn(t)
+		})
+	}
+}
+
+func runDynamicChurn(t *testing.T) {
+	opts := BravoOptions()
+	opts.ReaderHTMFirst = false // flagged readers occupy BRAVO slots
+	l, _, ar, _ := testSetup(t, 2, htm.Config{}, opts)
+	data := ar.AllocLines(1)
+	counter := data
+	mirror := data + 1
+
+	const (
+		churners       = 6
+		handlesEach    = 40
+		readsPerHandle = 4
+		writesEach     = 120
+	)
+	if testing.Short() {
+		t.Log("full churn counts even in -short: the run is sub-second")
+	}
+
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+
+	// Reader churn: every handle lives for only a few sections.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < handlesEach; i++ {
+				h, err := l.NewDynamicHandle()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for r := 0; r < readsPerHandle; r++ {
+					h.Read(0, func(acc memmodel.Accessor) {
+						if acc.Load(counter) != acc.Load(mirror) {
+							torn.Add(1)
+						}
+					})
+				}
+				// Drop the handle; nothing must linger in the
+				// visible-readers table.
+			}
+		}()
+	}
+
+	// One static writer (may commit via HTM) and one dynamic writer
+	// (always the fallback path: lock, drain, direct body) — the drain
+	// is what a stranded slot would hang.
+	write := func(acc memmodel.Accessor) {
+		v := acc.Load(counter) + 1
+		acc.Store(counter, v)
+		acc.Store(mirror, v)
+	}
+	sh := l.NewHandle(1)
+	dw, err := l.NewDynamicHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writesEach; i++ {
+			sh.Write(1, write)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writesEach; i++ {
+			dw.Write(1, write)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("churn wedged (stranded reader slot?)\n%s", buf[:runtime.Stack(buf, true)])
+	}
+
+	if n := torn.Load(); n != 0 {
+		t.Errorf("%d torn reads: a writer committed while a dynamic reader was visible", n)
+	}
+
+	// Final fallback write after all churners dropped their handles: its
+	// drain walks the whole visible-readers structure and must find it
+	// empty. A stranded slot turns this into a hang, caught by the
+	// watchdog.
+	final := make(chan struct{})
+	go func() {
+		dw.Write(1, write)
+		close(final)
+	}()
+	select {
+	case <-final:
+	case <-time.After(30 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("final drain wedged: reader slot stranded\n%s", buf[:runtime.Stack(buf, true)])
+	}
+
+	var got uint64
+	sh.Read(0, func(acc memmodel.Accessor) { got = acc.Load(counter) })
+	if want := uint64(2*writesEach + 1); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if b := l.indBravo; b != nil {
+		t.Logf("bravo: revocations=%d epoch=%d collisions=%d", b.Revocations(), b.Epoch(), b.Collisions())
+		if b.Revocations() > 0 && b.Epoch() == 0 {
+			t.Error("revocations recorded but epoch never advanced")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+// Fault points: the named fence points of the SpRWL protocol at which the
+// hostile-environment harness (internal/hostile) injects faults. The names
+// are shared infrastructure: the in-process chaos tests hook them through
+// SetFaultHook to perturb scheduling exactly at the protocol's most
+// delicate instants, and the multi-process crash harness reuses the same
+// catalogue to tell a re-exec'd worker where to die (SIGKILL from the
+// parent), so "crash after flag-raise before body" means the same fence in
+// both worlds. They correspond to the fence rules the fenceorder analyzer
+// tracks (DESIGN §8): the windows in which a thread has published state
+// that some other thread will wait on.
+
+// FaultPoint names one fence point.
+type FaultPoint uint8
+
+const (
+	// FaultNone is the zero FaultPoint; hooks never receive it.
+	FaultNone FaultPoint = iota
+
+	// FaultReaderFlagged fires after an uninstrumented reader has raised
+	// its reader flag (and synchronized with the fallback lock) but
+	// before the section body runs. A thread dying here leaves a raised
+	// flag that every fallback writer's drain will wait on — the
+	// dead-reader revocation case (BRAVO, arXiv 1810.01553).
+	FaultReaderFlagged
+
+	// FaultWriterAdvertised fires after a fallback writer has acquired
+	// the fallback lock (its advertisement to readers and other writers)
+	// but before it drains active readers. A thread dying here leaves
+	// the lock held with no owner alive — survivors must recover before
+	// anyone makes progress.
+	FaultWriterAdvertised
+
+	numFaultPoints
+)
+
+// String returns the catalogue name used by the harness's command lines
+// and logs.
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultReaderFlagged:
+		return "reader-flagged"
+	case FaultWriterAdvertised:
+		return "writer-advertised"
+	default:
+		return "none"
+	}
+}
+
+// FaultPoints returns the catalogue of injectable fence points.
+func FaultPoints() []FaultPoint {
+	return []FaultPoint{FaultReaderFlagged, FaultWriterAdvertised}
+}
+
+// SetFaultHook installs h to be called at every fault point this lock's
+// handles pass through, with the handle's slot (-1 for dynamic handles).
+// Test-only: install before handing out handles and do not change it while
+// workers run. The hook runs on the worker's goroutine inside the
+// protocol's fence windows — it must not acquire this lock. A nil hook
+// (the default) costs one branch per fence.
+func (l *Lock) SetFaultHook(h func(FaultPoint, int)) { l.fault = h }
+
+// atFault invokes the installed fault hook, if any.
+func (h *handle) atFault(p FaultPoint) {
+	if f := h.l.fault; f != nil {
+		f(p, h.slot)
+	}
+}

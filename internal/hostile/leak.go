@@ -1,0 +1,159 @@
+package hostile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// LeakBaseline is a snapshot of the process's goroutine and file-descriptor
+// population, taken before a test body runs.
+type LeakBaseline struct {
+	// ids holds the goroutine IDs alive at capture; goroutines in this
+	// set are never flagged (they predate the test).
+	ids map[uint64]bool
+	// Goroutines is the total count at capture, FDs the open descriptor
+	// count (-1 when /proc/self/fd is unreadable).
+	Goroutines int
+	FDs        int
+}
+
+// checkDeadline bounds Check's retry loop: parked goroutines woken during
+// teardown and exiting workers need a grace period, but a stranded
+// goroutine never goes away, so waiting longer only delays the verdict.
+const checkDeadline = 5 * time.Second
+
+// CaptureLeakBaseline snapshots the current goroutine set and fd count.
+// Capture before starting the workload under test.
+func CaptureLeakBaseline() LeakBaseline {
+	b := LeakBaseline{ids: make(map[uint64]bool), FDs: countFDs()}
+	for _, g := range goroutineDump() {
+		b.ids[g.id] = true
+	}
+	b.Goroutines = len(b.ids)
+	return b
+}
+
+// Check diffs the current process state against the baseline, retrying with
+// exponential backoff until the deadline: a goroutine that appeared since
+// the baseline and has a frame inside this repository ("sprwl/" on its
+// stack) is a leak — typically a waiter left parked by a missing wake —
+// and descriptor growth beyond a small transient slack is an fd leak.
+func (b LeakBaseline) Check(deadline time.Duration) error {
+	if deadline <= 0 {
+		deadline = checkDeadline
+	}
+	var err error
+	limit := time.Now().Add(deadline)
+	for wait := time.Millisecond; ; wait *= 2 {
+		err = b.checkOnce()
+		if err == nil || time.Now().After(limit) {
+			return err
+		}
+		if wait > 100*time.Millisecond {
+			wait = 100 * time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+func (b LeakBaseline) checkOnce() error {
+	var leaked []goroutine
+	for _, g := range goroutineDump() {
+		if b.ids[g.id] || !strings.Contains(g.stack, "sprwl/") {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	if len(leaked) > 0 {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d leaked goroutine(s) with sprwl frames:", len(leaked))
+		for _, g := range leaked {
+			fmt.Fprintf(&sb, "\n\ngoroutine %d:\n%s", g.id, g.stack)
+		}
+		return fmt.Errorf("%s", sb.String())
+	}
+	// fd slack: directory listing and test tempfiles come and go; only
+	// sustained growth counts.
+	const fdSlack = 3
+	if b.FDs >= 0 {
+		if n := countFDs(); n > b.FDs+fdSlack {
+			return fmt.Errorf("fd count grew %d -> %d (slack %d)", b.FDs, n, fdSlack)
+		}
+	}
+	return nil
+}
+
+// LeakCheck captures a baseline now and registers a cleanup that fails t if
+// the test leaves behind a goroutine parked in this repository's code or a
+// grown fd table. Register it on the PARENT of parallel subtests: cleanups
+// run after parallel children complete, whereas a sibling's still-running
+// workload would be indistinguishable from a leak.
+func LeakCheck(t testing.TB) {
+	t.Helper()
+	b := CaptureLeakBaseline()
+	t.Cleanup(func() {
+		if err := b.Check(checkDeadline); err != nil {
+			t.Errorf("leak check: %v", err)
+		}
+	})
+}
+
+// goroutine is one parsed stack-dump block.
+type goroutine struct {
+	id    uint64
+	stack string
+}
+
+// goroutineDump captures and parses runtime.Stack(all=true). The current
+// goroutine's block is included; callers diff against a baseline that also
+// included it, so it never flags.
+func goroutineDump() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		id, ok := parseGoroutineID(block)
+		if !ok {
+			continue
+		}
+		out = append(out, goroutine{id: id, stack: block})
+	}
+	return out
+}
+
+// parseGoroutineID extracts N from a block beginning "goroutine N [...]".
+func parseGoroutineID(block string) (uint64, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(block, prefix) {
+		return 0, false
+	}
+	rest := block[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(rest[:sp], 10, 64)
+	return id, err == nil
+}
+
+// countFDs returns the open descriptor count, or -1 where /proc is absent
+// (the check is then skipped; goroutine diffing still runs).
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

@@ -1,0 +1,57 @@
+package hostile
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprwl/internal/memmodel"
+	"sprwl/internal/park"
+)
+
+// TestLeakCheckCatchesStrandedParker is the mutation test for the leak
+// checker: deliberately strand a goroutine parked in the waiter table —
+// the exact artefact a lost wake leaves behind — and require Check to
+// flag it, with the park frames in the report. Then deliver the wake and
+// require the same baseline to come back clean, proving the detector
+// keys on the leak, not on ambient noise.
+func TestLeakCheckCatchesStrandedParker(t *testing.T) {
+	base := CaptureLeakBaseline()
+
+	var word atomic.Uint64
+	word.Store(1)
+	tbl := park.NewTable(func(memmodel.Addr) uint64 { return word.Load() })
+	parked := make(chan struct{})
+	go func() {
+		tbl.Park(0, 1) // sleeps until the wake below: a deliberate leak
+		close(parked)
+	}()
+	for tbl.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	err := base.Check(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("leak check passed with a goroutine parked in sprwl/internal/park")
+	}
+	if !strings.Contains(err.Error(), "sprwl/internal/park") {
+		t.Errorf("leak report does not name the park frames:\n%v", err)
+	}
+
+	// Deliver the wake; the same baseline must now come back clean.
+	word.Store(0)
+	tbl.Wake(0)
+	<-parked
+	if err := base.Check(checkDeadline); err != nil {
+		t.Errorf("leak check still failing after the waiter was woken: %v", err)
+	}
+}
+
+// TestLeakCheckCleanBaseline: back-to-back capture and check with no
+// workload must pass — the detector has no false positives at rest.
+func TestLeakCheckCleanBaseline(t *testing.T) {
+	if err := CaptureLeakBaseline().Check(time.Second); err != nil {
+		t.Fatalf("clean process flagged: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+//go:build unix
+
+package hostile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"sprwl/internal/env"
+	"sprwl/internal/memmodel"
+)
+
+// Shared-memory arena for the multi-process crash harness: a file-backed
+// mmap whose words are addressed exactly like a memmodel space, so
+// locks.SpinMutex — and nothing else in the lock stack — runs unmodified
+// across process boundaries. The arena deliberately provides no
+// park.Provider: cross-process waiters must spin, because an in-process
+// waiter table cannot wake another process (a real futex could, but the
+// harness wants the survivors' spin loops observable and simple).
+
+// Arena is a file-backed shared-memory word array, mapped into this
+// process and into every worker the parent re-execs.
+type Arena struct {
+	f     *os.File
+	data  []byte
+	words []uint64
+}
+
+// MapArena creates (parent) or opens (worker) the arena file at path with
+// capacity words. The parent passes create=true and the path to each
+// worker via the environment.
+func MapArena(path string, nwords int, create bool) (*Arena, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	size := nwords * 8
+	if create {
+		if err := f.Truncate(int64(size)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mmap %s: %w", path, err)
+	}
+	return &Arena{
+		f:     f,
+		data:  data,
+		words: unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), nwords),
+	}, nil
+}
+
+// Close unmaps and closes the arena (the file itself is the parent's to
+// delete).
+func (a *Arena) Close() error {
+	err := syscall.Munmap(a.data)
+	if cerr := a.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Words returns the arena capacity in words.
+func (a *Arena) Words() int { return len(a.words) }
+
+// Env returns an env.Env view over the arena for nthreads logical threads.
+// Only the subset the SpinMutex and the worker protocol use is live;
+// Attempt panics (no cross-process HTM — workers never call it).
+func (a *Arena) Env(nthreads int) env.Env { return &shmEnv{a: a, threads: nthreads} }
+
+type shmEnv struct {
+	a       *Arena
+	threads int
+}
+
+var _ env.Env = (*shmEnv)(nil)
+
+func (e *shmEnv) word(ad memmodel.Addr) *uint64 { return &e.a.words[int(ad)] }
+
+func (e *shmEnv) Load(ad memmodel.Addr) uint64     { return atomic.LoadUint64(e.word(ad)) }
+func (e *shmEnv) Store(ad memmodel.Addr, v uint64) { atomic.StoreUint64(e.word(ad), v) }
+func (e *shmEnv) CAS(ad memmodel.Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(e.word(ad), old, new)
+}
+func (e *shmEnv) Add(ad memmodel.Addr, d uint64) uint64 { return atomic.AddUint64(e.word(ad), d) }
+
+func (e *shmEnv) Attempt(int, env.TxOpts, func(env.TxAccessor)) env.AbortCause {
+	panic("hostile: no cross-process HTM")
+}
+
+func (e *shmEnv) Now() uint64 { return uint64(time.Now().UnixNano()) }
+func (e *shmEnv) WaitUntil(t uint64) {
+	for e.Now() < t {
+		time.Sleep(time.Microsecond)
+	}
+}
+func (e *shmEnv) Yield()       { runtime.Gosched() }
+func (e *shmEnv) Threads() int { return e.threads }

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package hostile
+
+import (
+	"errors"
+
+	"sprwl/internal/env"
+)
+
+// Arena is unavailable without mmap; the multi-process harness skips
+// itself on such platforms.
+type Arena struct{}
+
+// ErrNoShm reports that this platform has no shared-memory arena.
+var ErrNoShm = errors.New("hostile: shared-memory arena needs a unix mmap")
+
+func MapArena(string, int, bool) (*Arena, error) { return nil, ErrNoShm }
+func (a *Arena) Close() error                    { return nil }
+func (a *Arena) Words() int                      { return 0 }
+func (a *Arena) Env(int) env.Env                 { return nil }

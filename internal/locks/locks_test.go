@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sprwl/internal/env"
 	"sprwl/internal/htm"
@@ -187,12 +188,17 @@ func TestReadersCanOverlap(t *testing.T) {
 			l := lm.make(e, ar, readers, nil)
 			var active, maxActive atomic.Int64
 			var wg sync.WaitGroup
+			// Deadline-based, not a fixed attempt count: under -race on a
+			// narrow, loaded machine the scheduler can legally serialize a
+			// bounded number of short read sections without ever
+			// co-scheduling two readers.
+			deadline := time.Now().Add(5 * time.Second)
 			for r := 0; r < readers; r++ {
 				wg.Add(1)
 				go func(slot int) {
 					defer wg.Done()
 					h := l.NewHandle(slot)
-					for j := 0; j < 300 && maxActive.Load() < 2; j++ {
+					for maxActive.Load() < 2 && time.Now().Before(deadline) {
 						h.Read(0, func(acc memmodel.Accessor) {
 							n := active.Add(1)
 							for o := maxActive.Load(); n > o; o = maxActive.Load() {

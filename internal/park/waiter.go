@@ -60,19 +60,22 @@ const (
 // SpinPark is the policy of the SpRWL core wait sites: spin briefly, park
 // when the spin budget is exhausted or the predicted wait says parking is
 // cheaper; without a parker, spin forever (the pre-park core behaviour).
+// The hostile harness's injection hook (SetChaos) perturbs the returned
+// policy; with no hook installed this is the plain literal.
 func SpinPark() Policy {
-	return Policy{SpinBudget: DefaultSpinBudget, RoundTrip: DefaultRoundTrip}
+	return perturb(Policy{SpinBudget: DefaultSpinBudget, RoundTrip: DefaultRoundTrip})
 }
 
 // Pessimistic is the policy of the pthread-style baselines: a short spin,
 // then a real park — or, without a parker, the modelled kernel block the
-// simulator has always charged for them.
+// simulator has always charged for them. Subject to the same injection
+// hook as SpinPark.
 func Pessimistic() Policy {
-	return Policy{
+	return perturb(Policy{
 		SpinBudget:  PessimisticSpinLimit,
 		RoundTrip:   DefaultRoundTrip,
 		BlockCycles: PessimisticWakeCycles,
-	}
+	})
 }
 
 // Waiter is one wait episode's spin-then-park state. Construct it on the

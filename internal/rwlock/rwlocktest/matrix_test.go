@@ -10,6 +10,7 @@ import (
 
 	"sprwl/internal/core"
 	"sprwl/internal/env"
+	"sprwl/internal/hostile"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/rwlock"
 )
@@ -81,6 +82,9 @@ func validOptionCombos() []struct {
 // exclusion, reader isolation, exactly-once effects) over every valid
 // options combination with short rounds.
 func TestOptionsMatrix(t *testing.T) {
+	// One leak baseline over all 320 combos: cleanup runs after the last
+	// sequential subtest, when any stranded waiter is unambiguous.
+	hostile.LeakCheck(t)
 	combos := validOptionCombos()
 	cfg := Config{Threads: 4, Rounds: 12}
 	if testing.Short() {

@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"sprwl/internal/env"
+	"sprwl/internal/hostile"
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/rwlock"
@@ -59,6 +60,9 @@ func (c *Config) defaults() {
 // Run executes the full conformance suite against the factory.
 func Run(t *testing.T, f Factory, cfg Config) {
 	cfg.defaults()
+	// Every conformance run is leak-checked: a suite can pass its oracle
+	// while stranding a parked goroutine, and that must still be red.
+	hostile.LeakCheck(t)
 	t.Run("WriterMutualExclusion", func(t *testing.T) { writerMutualExclusion(t, f, cfg) })
 	t.Run("ReaderIsolation", func(t *testing.T) { readerIsolation(t, f, cfg) })
 	t.Run("ReadersOverlap", func(t *testing.T) { readersOverlap(t, f, cfg) })

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sprwl/internal/core"
+	"sprwl/internal/hostile"
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/rwlock"
@@ -69,6 +70,9 @@ func parkingLock(t *testing.T, opts core.Options) (rwlock.Lock, layout, func(mem
 // on 2 procs against the sequential oracle. The CI race job runs this in
 // -short mode as its oversubscription smoke test.
 func TestStressParkingOversubscribed(t *testing.T) {
+	// A lost wakeup that somehow doesn't hang the herd would still leave
+	// parked goroutines behind; the leak check closes that gap.
+	hostile.LeakCheck(t)
 	prev := runtime.GOMAXPROCS(parkingProcs)
 	defer runtime.GOMAXPROCS(prev)
 

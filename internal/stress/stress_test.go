@@ -17,13 +17,17 @@
 package stress
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
 	"sprwl/internal/core"
 	"sprwl/internal/env"
+	"sprwl/internal/hostile"
 	"sprwl/internal/htm"
 	"sprwl/internal/memmodel"
 	"sprwl/internal/rwlock"
@@ -174,6 +178,11 @@ func runStress(t *testing.T, name string, seed int64, nops int,
 			runWorker(t, name, h, ly, plans[w])
 		}(w, h)
 	}
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay: go test ./internal/stress/ -run '%s' -stress.seed=%d", t.Name(), seed)
+		}
+	}()
 	wg.Wait()
 	want := oracle(plans)
 	for k := 0; k < stressKeys; k++ {
@@ -251,12 +260,38 @@ func rwMutexLock(t *testing.T) (rwlock.Lock, layout, func(memmodel.Addr) uint64,
 	return &goRWLock{e: e}, carve(ar), e.Load, 0
 }
 
+// stressSeed pins the differential matrix to a single seed for failure
+// replay: `-stress.seed=N` on the command line, or SPRWL_STRESS_SEED=N in
+// the environment (for CI re-runs where editing flags is awkward). Every
+// stress failure message names its seed, so a red run is reproduced by
+// feeding that seed back here.
+var stressSeed = flag.Int64("stress.seed", 0, "replay the stress matrix with only this seed")
+
+// replaySeed resolves the flag/env override; 0 means the full seed set.
+func replaySeed() int64 {
+	if *stressSeed != 0 {
+		return *stressSeed
+	}
+	if s := os.Getenv("SPRWL_STRESS_SEED"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
 // seedSet returns the deterministic seeds and per-worker op count for the
-// current mode: a small fixed set for CI (-short), a wider sweep for the
-// nightly run.
+// current mode: a single pinned seed when replaying a failure, a small
+// fixed set for CI (-short), a wider sweep for the nightly run.
 func seedSet() ([]int64, int) {
 	if testing.Short() {
+		if s := replaySeed(); s != 0 {
+			return []int64{s}, 1500
+		}
 		return []int64{1, 2}, 1500
+	}
+	if s := replaySeed(); s != 0 {
+		return []int64{s}, 8000
 	}
 	return []int64{1, 2, 3, 5, 8, 13}, 8000
 }
@@ -265,6 +300,10 @@ func seedSet() ([]int64, int) {
 // combination (with dynamic workers mixed in where the backend allows) and
 // the sync.RWMutex reference, each against the sequential oracle.
 func TestStressDifferential(t *testing.T) {
+	// Leak check on the parent: its cleanup runs after every parallel
+	// child, when a stranded parked goroutine is the only sprwl frame
+	// left standing.
+	hostile.LeakCheck(t)
 	seeds, nops := seedSet()
 	for _, v := range variants() {
 		for _, seed := range seeds {
